@@ -1,0 +1,193 @@
+// Command planarcert is the command-line front end of the library.
+//
+// Usage:
+//
+//	planarcert gen -kind grid -n 24 > net.edges           # generate graphs
+//	planarcert test < net.edges                           # planarity test
+//	planarcert kuratowski < net.edges                     # extract witness
+//	planarcert certify -scheme planarity < net.edges      # prove + verify
+//	planarcert schemes                                    # list schemes
+//
+// Graphs are read and written as text edge lists ("u v" per line; see
+// planarcert.ParseEdgeList).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/gen"
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "test":
+		err = cmdTest()
+	case "kuratowski":
+		err = cmdKuratowski()
+	case "certify":
+		err = cmdCertify(os.Args[2:])
+	case "schemes":
+		for _, s := range planarcert.Schemes() {
+			fmt.Println(s)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "planarcert:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: planarcert <command> [flags]
+
+commands:
+  gen        -kind {grid|tree|maximal|planar|outerplanar|complete|bipartite|wheel|cycle|path} -n N [-m M] [-seed S]
+  test       read an edge list on stdin, report planarity/outerplanarity
+  kuratowski read an edge list on stdin, print a K5/K3,3 subdivision witness
+  certify    -scheme NAME [-adversary] : prove + run the 1-round verification
+  schemes    list available proof-labeling schemes`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "planar", "graph family")
+	n := fs.Int("n", 16, "number of nodes")
+	m := fs.Int("m", 0, "number of edges (planar kind only; 0 = 2n-3)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var g *graph.Graph
+	var err error
+	switch *kind {
+	case "grid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		g = gen.Grid(side, (*n+side-1)/side)
+	case "tree":
+		g = gen.RandomTree(*n, rng)
+	case "maximal":
+		g = gen.StackedTriangulation(*n, rng)
+	case "planar":
+		edges := *m
+		if edges == 0 {
+			edges = 2**n - 3
+		}
+		g, err = gen.RandomPlanar(*n, edges, rng)
+	case "outerplanar":
+		g = gen.RandomOuterplanar(*n, 0.7, rng)
+	case "complete":
+		g = gen.Complete(*n)
+	case "bipartite":
+		g = gen.CompleteBipartite(*n/2, (*n+1)/2)
+	case "wheel":
+		g = gen.Wheel(*n)
+	case "cycle":
+		g = gen.Cycle(*n)
+	case "path":
+		g = gen.Path(*n)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	return planarcert.FromGraph(g).WriteEdgeList(os.Stdout)
+}
+
+func readNetwork() (*planarcert.Network, error) {
+	return planarcert.ParseEdgeList(os.Stdin)
+}
+
+func cmdTest() error {
+	net, err := readNetwork()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n=%d m=%d connected=%v\n", net.N(), net.M(), net.Connected())
+	fmt.Printf("planar:      %v\n", net.IsPlanar())
+	fmt.Printf("outerplanar: %v\n", net.IsOuterplanar())
+	return nil
+}
+
+func cmdKuratowski() error {
+	net, err := readNetwork()
+	if err != nil {
+		return err
+	}
+	w, err := net.Kuratowski()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kind: %s\n", w.Kind)
+	fmt.Printf("branch vertices: %v\n", w.Branch)
+	for i, p := range w.Paths {
+		fmt.Printf("path %d: %v\n", i, p)
+	}
+	return nil
+}
+
+func cmdCertify(args []string) error {
+	fs := flag.NewFlagSet("certify", flag.ExitOnError)
+	scheme := fs.String("scheme", "planarity", "proof-labeling scheme")
+	adversary := fs.Bool("adversary", false, "also run a random-certificate attack")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := readNetwork()
+	if err != nil {
+		return err
+	}
+	certs, err := planarcert.Certify(net, planarcert.SchemeName(*scheme))
+	if err != nil {
+		return fmt.Errorf("prover: %w", err)
+	}
+	report, err := planarcert.Verify(net, planarcert.SchemeName(*scheme), certs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scheme:      %s\n", *scheme)
+	fmt.Printf("accepted:    %v\n", report.Accepted)
+	fmt.Printf("max cert:    %d bits\n", report.MaxCertBits)
+	fmt.Printf("avg cert:    %.1f bits\n", report.AvgCertBits)
+	fmt.Printf("messages:    %d (1 round)\n", report.Messages)
+	if !report.Accepted {
+		fmt.Printf("rejecting:   %v\n", report.Rejecting)
+	}
+	if *adversary {
+		rng := rand.New(rand.NewSource(99))
+		forged := planarcert.Certificates{}
+		for _, id := range net.IDs() {
+			nbits := rng.Intn(200)
+			data := make([]byte, (nbits+7)/8)
+			rng.Read(data)
+			forged[id] = planarcert.Certificate{Data: data, Bits: nbits}
+		}
+		att, err := planarcert.Verify(net, planarcert.SchemeName(*scheme), forged)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("adversary:   accepted=%v (%d rejecting)\n", att.Accepted, len(att.Rejecting))
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Command overlay simulates the motivating scenario of the paper: an
+// overlay network that must stay planar (say, for a planarity-dependent
+// routing scheme). Links join over time; after every change the network
+// re-certifies planarity with O(log n)-bit certificates. The first
+// insertion that breaks planarity is detected by the 1-round verification
+// — at least one node rejects — and that node raises an alarm that floods
+// the network.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	planarcert "github.com/planarcert/planarcert"
+)
+
+const nodes = 40
+
+func main() {
+	rng := rand.New(rand.NewSource(2020))
+
+	// Start from a random spanning tree (overlay bootstrap).
+	net := planarcert.NewNetwork()
+	for id := planarcert.NodeID(0); id < nodes; id++ {
+		if err := net.AddNode(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 1; i < nodes; i++ {
+		if err := net.AddEdge(planarcert.NodeID(i), planarcert.NodeID(rng.Intn(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("bootstrap: tree overlay with %d nodes\n", nodes)
+
+	step := 0
+	for {
+		step++
+		// A random new link joins the overlay.
+		var a, b planarcert.NodeID
+		for {
+			a = planarcert.NodeID(rng.Intn(nodes))
+			b = planarcert.NodeID(rng.Intn(nodes))
+			if a != b && !net.HasEdge(a, b) {
+				break
+			}
+		}
+		if err := net.AddEdge(a, b); err != nil {
+			log.Fatal(err)
+		}
+
+		// Re-certify. If the prover refuses, the overlay is no longer
+		// planar; fall back to the stale certificates to show the
+		// distributed verification also catches it.
+		certs, err := planarcert.Certify(net, planarcert.SchemePlanarity)
+		if err != nil {
+			fmt.Printf("step %3d: +{%d,%d}  prover: network left the planar class\n", step, a, b)
+			// The routing layer still runs the verification round with
+			// whatever certificates it had; some node must reject.
+			stale, verr := planarcert.Certify(withoutEdge(net, a, b), planarcert.SchemePlanarity)
+			if verr != nil {
+				log.Fatal(verr)
+			}
+			report, verr := planarcert.Verify(net, planarcert.SchemePlanarity, stale)
+			if verr != nil {
+				log.Fatal(verr)
+			}
+			fmt.Printf("          1-round verification: accepted=%v, rejecting nodes=%v\n",
+				report.Accepted, report.Rejecting)
+			if report.Accepted {
+				log.Fatal("soundness violated: non-planar overlay accepted")
+			}
+
+			// The rejecting nodes broadcast an alarm.
+			rounds, err := net.Broadcast(report.Rejecting)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("          alarm flooded the overlay in %d rounds\n", rounds)
+
+			// Ops team demands evidence: a Kuratowski witness.
+			w, err := net.Kuratowski()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("          evidence: %s subdivision through nodes %v\n", w.Kind, w.Branch)
+			fmt.Printf("          link {%d,%d} rolled back\n", a, b)
+			return
+		}
+		report, err := planarcert.Verify(net, planarcert.SchemePlanarity, certs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !report.Accepted {
+			log.Fatalf("completeness violated at step %d: %v", step, report.Reasons)
+		}
+		fmt.Printf("step %3d: +{%2d,%2d}  planar, re-certified (max cert %d bits, %d messages)\n",
+			step, a, b, report.MaxCertBits, report.Messages)
+	}
+}
+
+// withoutEdge returns a copy of net lacking the edge {a, b}.
+func withoutEdge(net *planarcert.Network, a, b planarcert.NodeID) *planarcert.Network {
+	c := net.Clone()
+	c.RemoveEdge(a, b)
+	return c
+}

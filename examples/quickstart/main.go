@@ -1,0 +1,89 @@
+// Command quickstart is the smallest end-to-end use of the library: build
+// a planar network, let the prover assign O(log n)-bit certificates, run
+// the 1-round distributed verification, then break planarity and watch
+// the same certificates be rejected.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	planarcert "github.com/planarcert/planarcert"
+)
+
+func main() {
+	// A wheel on 8 nodes: hub 0 surrounded by the cycle 1..7.
+	net := planarcert.NewNetwork()
+	for id := planarcert.NodeID(0); id < 8; id++ {
+		if err := net.AddNode(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := planarcert.NodeID(1); i <= 7; i++ {
+		next := i%7 + 1
+		if err := net.AddEdge(i, next); err != nil {
+			log.Fatal(err)
+		}
+		if err := net.AddEdge(0, i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("network: n=%d m=%d planar=%v\n", net.N(), net.M(), net.IsPlanar())
+
+	// The prover (an untrusted oracle with full knowledge of the graph)
+	// computes the Theorem 1 certificates.
+	certs, err := planarcert.Certify(net, planarcert.SchemePlanarity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxBits := 0
+	for _, c := range certs {
+		if c.Bits > maxBits {
+			maxBits = c.Bits
+		}
+	}
+	fmt.Printf("certificates: max %d bits per node (O(log n))\n", maxBits)
+
+	// Every node exchanges certificates with its neighbors ONCE and
+	// decides locally.
+	report, err := planarcert.Verify(net, planarcert.SchemePlanarity, certs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verification: accepted=%v messages=%d (one round)\n",
+		report.Accepted, report.Messages)
+
+	// Now make the network non-planar (connect two opposite rim nodes
+	// through... in a wheel, adding chords keeps planarity; instead fuse a
+	// K5: connect 1-3, 1-4, 2-4 to create dense crossings).
+	for _, e := range [][2]planarcert.NodeID{{1, 3}, {1, 4}, {2, 4}, {3, 5}, {2, 5}} {
+		if !net.HasEdge(e[0], e[1]) {
+			if err := net.AddEdge(e[0], e[1]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("\nafter sabotage: m=%d planar=%v\n", net.M(), net.IsPlanar())
+
+	// The old certificates cannot fool the verifier.
+	report, err = planarcert.Verify(net, planarcert.SchemePlanarity, certs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stale certificates: accepted=%v, %d nodes reject\n",
+		report.Accepted, len(report.Rejecting))
+
+	// And no prover could do better: the graph carries a Kuratowski
+	// witness, which the non-planarity scheme can certify instead.
+	w, err := net.Kuratowski()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("obstruction: subdivision of %s with branch nodes %v\n", w.Kind, w.Branch)
+	npReport, err := planarcert.CertifyAndVerify(net, planarcert.SchemeNonPlanarity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("non-planarity certified: accepted=%v (max %d bits)\n",
+		npReport.Accepted, npReport.MaxCertBits)
+}

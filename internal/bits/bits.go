@@ -1,0 +1,195 @@
+// Package bits implements bit-exact encoding of certificates. The paper's
+// complexity measure is the number of *bits* per certificate, so schemes
+// serialise certificates through this package and sizes are measured on
+// the wire format rather than on in-memory structs.
+//
+// The format is a plain MSB-first bit stream. Writers append fields;
+// readers consume them in the same order. Two integer encodings are
+// provided: fixed-width (for fields whose bound is known to both sides,
+// e.g. ranks in [0, 2n]) and a length-prefixed variable encoding (for
+// identifiers from a polynomial range).
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfRange is returned when a value does not fit the declared width.
+var ErrOutOfRange = errors.New("bits: value out of range")
+
+// ErrShortRead is returned when a reader runs past the end of the stream.
+var ErrShortRead = errors.New("bits: read past end of stream")
+
+// Writer accumulates a bit stream. The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nbit int
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the stream as a byte slice (last byte zero-padded).
+func (w *Writer) Bytes() []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b bool) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b {
+		w.buf[w.nbit/8] |= 1 << (7 - uint(w.nbit%8))
+	}
+	w.nbit++
+}
+
+// WriteUint appends v in exactly width bits (MSB first). It fails if v
+// needs more than width bits or width is not in [0, 64].
+func (w *Writer) WriteUint(v uint64, width int) error {
+	if width < 0 || width > 64 {
+		return fmt.Errorf("%w: width %d", ErrOutOfRange, width)
+	}
+	if width < 64 && v>>uint(width) != 0 {
+		return fmt.Errorf("%w: %d does not fit in %d bits", ErrOutOfRange, v, width)
+	}
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(v>>uint(i)&1 == 1)
+	}
+	return nil
+}
+
+// WriteInt appends a signed value shifted to unsigned by the caller-known
+// lower bound: v must satisfy lo <= v < lo + 2^width.
+func (w *Writer) WriteInt(v, lo int64, width int) error {
+	if v < lo {
+		return fmt.Errorf("%w: %d below lower bound %d", ErrOutOfRange, v, lo)
+	}
+	return w.WriteUint(uint64(v-lo), width)
+}
+
+// WriteVar appends v using a 6-bit length prefix followed by that many
+// bits of payload. Cost: 6 + bitlen(v) bits — O(log v).
+func (w *Writer) WriteVar(v uint64) error {
+	n := bitLen(v)
+	if err := w.WriteUint(uint64(n), 6); err != nil {
+		return err
+	}
+	return w.WriteUint(v, n)
+}
+
+// Reader consumes a bit stream produced by Writer.
+type Reader struct {
+	buf  []byte
+	pos  int
+	nbit int
+}
+
+// NewReader returns a reader over the first nbits of buf.
+func NewReader(buf []byte, nbits int) *Reader {
+	return &Reader{buf: buf, nbit: nbits}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// ReadBit consumes one bit.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.pos >= r.nbit {
+		return false, ErrShortRead
+	}
+	b := r.buf[r.pos/8]>>(7-uint(r.pos%8))&1 == 1
+	r.pos++
+	return b, nil
+}
+
+// ReadUint consumes width bits as an unsigned integer.
+func (r *Reader) ReadUint(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("%w: width %d", ErrOutOfRange, width)
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if b {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// ReadInt consumes width bits and shifts by the lower bound lo.
+func (r *Reader) ReadInt(lo int64, width int) (int64, error) {
+	v, err := r.ReadUint(width)
+	if err != nil {
+		return 0, err
+	}
+	return lo + int64(v), nil
+}
+
+// ReadVar consumes a value written by WriteVar.
+func (r *Reader) ReadVar() (uint64, error) {
+	n, err := r.ReadUint(6)
+	if err != nil {
+		return 0, err
+	}
+	return r.ReadUint(int(n))
+}
+
+// bitLen returns the minimal number of bits to represent v (0 -> 0).
+func bitLen(v uint64) int {
+	n := 0
+	for v != 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// WidthFor returns the number of bits needed to represent values in
+// [0, maxVal] — the fixed width both prover and verifier derive from a
+// shared bound such as n.
+func WidthFor(maxVal uint64) int {
+	if maxVal == 0 {
+		return 1
+	}
+	return bitLen(maxVal)
+}
+
+// Certificate couples a bit stream with its exact bit length.
+type Certificate struct {
+	Data []byte
+	Bits int
+}
+
+// FromWriter snapshots w into a Certificate.
+func FromWriter(w *Writer) Certificate {
+	return Certificate{Data: w.Bytes(), Bits: w.Len()}
+}
+
+// Reader returns a reader over the certificate.
+func (c Certificate) Reader() *Reader { return NewReader(c.Data, c.Bits) }
+
+// Size returns the certificate size in bits (the paper's measure).
+func (c Certificate) Size() int { return c.Bits }
+
+// Equal reports whether two certificates carry identical bit streams.
+func (c Certificate) Equal(o Certificate) bool {
+	if c.Bits != o.Bits {
+		return false
+	}
+	for i := range c.Data {
+		if c.Data[i] != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}

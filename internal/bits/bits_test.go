@@ -1,0 +1,200 @@
+package bits
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripFixedWidth(t *testing.T) {
+	var w Writer
+	values := []struct {
+		v     uint64
+		width int
+	}{
+		{0, 1}, {1, 1}, {5, 3}, {255, 8}, {256, 9}, {1 << 40, 41}, {0, 0},
+	}
+	for _, tc := range values {
+		if err := w.WriteUint(tc.v, tc.width); err != nil {
+			t.Fatalf("WriteUint(%d,%d): %v", tc.v, tc.width, err)
+		}
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, tc := range values {
+		got, err := r.ReadUint(tc.width)
+		if err != nil {
+			t.Fatalf("ReadUint(%d): %v", tc.width, err)
+		}
+		if got != tc.v {
+			t.Fatalf("round trip = %d, want %d", got, tc.v)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d bits", r.Remaining())
+	}
+}
+
+func TestWriteUintRejectsOverflow(t *testing.T) {
+	var w Writer
+	if err := w.WriteUint(8, 3); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("overflow error = %v", err)
+	}
+	if err := w.WriteUint(1, 65); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("width error = %v", err)
+	}
+}
+
+func TestSignedRoundTrip(t *testing.T) {
+	var w Writer
+	if err := w.WriteInt(-3, -10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteInt(-10, -10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteInt(-11, -10, 5); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("below-bound error = %v", err)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, want := range []int64{-3, -10} {
+		got, err := r.ReadInt(-10, 5)
+		if err != nil || got != want {
+			t.Fatalf("ReadInt = (%d, %v), want %d", got, err, want)
+		}
+	}
+}
+
+func TestVarRoundTrip(t *testing.T) {
+	var w Writer
+	vals := []uint64{0, 1, 2, 63, 64, 12345, 1 << 50}
+	for _, v := range vals {
+		if err := w.WriteVar(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, want := range vals {
+		got, err := r.ReadVar()
+		if err != nil || got != want {
+			t.Fatalf("ReadVar = (%d, %v), want %d", got, err, want)
+		}
+	}
+}
+
+func TestShortRead(t *testing.T) {
+	var w Writer
+	if err := w.WriteUint(5, 3); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	if _, err := r.ReadUint(4); !errors.Is(err, ErrShortRead) {
+		t.Fatalf("short read error = %v", err)
+	}
+}
+
+func TestWidthFor(t *testing.T) {
+	tests := []struct {
+		max  uint64
+		want int
+	}{{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9}}
+	for _, tc := range tests {
+		if got := WidthFor(tc.max); got != tc.want {
+			t.Fatalf("WidthFor(%d) = %d, want %d", tc.max, got, tc.want)
+		}
+	}
+}
+
+func TestCertificateEqual(t *testing.T) {
+	var w1, w2 Writer
+	if err := w1.WriteUint(5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.WriteUint(5, 3); err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := FromWriter(&w1), FromWriter(&w2)
+	if !c1.Equal(c2) {
+		t.Fatal("identical certificates unequal")
+	}
+	var w3 Writer
+	if err := w3.WriteUint(4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Equal(FromWriter(&w3)) {
+		t.Fatal("different certificates equal")
+	}
+	var w4 Writer
+	if err := w4.WriteUint(5, 4); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Equal(FromWriter(&w4)) {
+		t.Fatal("different-length certificates equal")
+	}
+}
+
+func TestQuickMixedRoundTrip(t *testing.T) {
+	f := func(vals []uint32, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var w Writer
+		widths := make([]int, len(vals))
+		for i, v := range vals {
+			widths[i] = WidthFor(uint64(v)) + rng.Intn(8)
+			if widths[i] > 64 {
+				widths[i] = 64
+			}
+			if err := w.WriteUint(uint64(v), widths[i]); err != nil {
+				return false
+			}
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for i, v := range vals {
+			got, err := r.ReadUint(widths[i])
+			if err != nil || got != uint64(v) {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitInterleaving(t *testing.T) {
+	var w Writer
+	w.WriteBit(true)
+	if err := w.WriteUint(0b1011, 4); err != nil {
+		t.Fatal(err)
+	}
+	w.WriteBit(false)
+	w.WriteBit(true)
+	r := NewReader(w.Bytes(), w.Len())
+	b, _ := r.ReadBit()
+	if !b {
+		t.Fatal("first bit")
+	}
+	v, _ := r.ReadUint(4)
+	if v != 0b1011 {
+		t.Fatalf("mid value = %b", v)
+	}
+	b1, _ := r.ReadBit()
+	b2, _ := r.ReadBit()
+	if b1 || !b2 {
+		t.Fatal("tail bits")
+	}
+}
+
+func TestLenCountsBits(t *testing.T) {
+	var w Writer
+	if err := w.WriteUint(1, 13); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 13 {
+		t.Fatalf("Len = %d, want 13", w.Len())
+	}
+	c := FromWriter(&w)
+	if c.Size() != 13 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+}

@@ -1,0 +1,176 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/core"
+	"github.com/planarcert/planarcert/internal/gen"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+// TestCorruptionBatteryAllSchemes is the failure-injection suite: for
+// every scheme, honest certificates are corrupted by random bit flips,
+// truncation, extension, and swapping between nodes. Verification must
+// never panic, and (for the one-sided classes) corrupted proofs on
+// NON-member inputs must never be accepted.
+func TestCorruptionBatteryAllSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cases := []struct {
+		name      string
+		scheme    pls.Scheme
+		member    *graph.Graph
+		nonMember *graph.Graph // verified to reject any corrupted member-cert replay
+	}{
+		{
+			name:      "planarity",
+			scheme:    core.PlanarScheme{},
+			member:    gen.Grid(4, 4),
+			nonMember: withExtraNodes(gen.Complete(5), 11),
+		},
+		{
+			name:      "outerplanarity",
+			scheme:    core.OuterplanarScheme{},
+			member:    gen.RandomOuterplanar(16, 0.6, rng),
+			nonMember: gen.Wheel(16),
+		},
+		{
+			name:      "non-planarity",
+			scheme:    core.NonPlanarScheme{},
+			member:    withExtraNodes(gen.Complete(5), 11),
+			nonMember: gen.Grid(4, 4),
+		},
+		{
+			name:      "path-outerplanar",
+			scheme:    core.POScheme{},
+			member:    gen.RandomPathOuterplanar(16, 0.5, rng),
+			nonMember: gen.Star(16),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			honest, err := tc.scheme.Prove(tc.member)
+			if err != nil {
+				t.Fatalf("prover: %v", err)
+			}
+			// 1. Bit flips on the member: must never panic; acceptance is
+			// allowed only if the mutation kept a valid proof.
+			for trial := 0; trial < 120; trial++ {
+				certs := corrupt(honest, rng)
+				pls.RunWithCerts(tc.scheme, tc.member, certs)
+			}
+			// 2. Replay (corrupted or not) on the non-member: never accepted.
+			for trial := 0; trial < 120; trial++ {
+				certs := honest
+				if trial > 0 {
+					certs = corrupt(honest, rng)
+				}
+				out := pls.RunWithCerts(tc.scheme, tc.nonMember, certs)
+				if out.AllAccept() {
+					t.Fatalf("trial %d: corrupted member certificates accepted on a non-member", trial)
+				}
+			}
+			// 3. Node-swapped certificates on the member: the SelfID binding
+			// must catch them.
+			swapped := swapTwo(honest, rng)
+			if swapped != nil {
+				out := pls.RunWithCerts(tc.scheme, tc.member, swapped)
+				if out.AllAccept() {
+					t.Fatal("swapped certificates accepted")
+				}
+			}
+		})
+	}
+}
+
+func withExtraNodes(g *graph.Graph, pad int) *graph.Graph {
+	c := g.Clone()
+	prev := -1
+	for i := 0; i < pad; i++ {
+		idx := c.MustAddNode(graph.ID(1000 + i))
+		if prev == -1 {
+			c.MustAddEdge(0, idx)
+		} else {
+			c.MustAddEdge(prev, idx)
+		}
+		prev = idx
+	}
+	return c
+}
+
+// corrupt applies a random mutation to a random node's certificate.
+func corrupt(honest map[graph.ID]bits.Certificate, rng *rand.Rand) map[graph.ID]bits.Certificate {
+	out := make(map[graph.ID]bits.Certificate, len(honest))
+	for id, c := range honest {
+		out[id] = c
+	}
+	// Pick a victim.
+	var victim graph.ID
+	k := rng.Intn(len(honest))
+	for id := range honest {
+		if k == 0 {
+			victim = id
+			break
+		}
+		k--
+	}
+	c := out[victim]
+	data := append([]byte(nil), c.Data...)
+	nbits := c.Bits
+	switch rng.Intn(4) {
+	case 0: // flip 1-4 bits
+		if nbits > 0 {
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				pos := rng.Intn(nbits)
+				data[pos/8] ^= 1 << (7 - uint(pos%8))
+			}
+		}
+	case 1: // truncate
+		if nbits > 1 {
+			nbits = rng.Intn(nbits)
+		}
+	case 2: // extend with random bits
+		extra := 1 + rng.Intn(64)
+		for i := 0; i < extra; i++ {
+			if (nbits+i)%8 == 0 {
+				data = append(data, 0)
+			}
+			if rng.Intn(2) == 0 {
+				data[(nbits+i)/8] |= 1 << (7 - uint((nbits+i)%8))
+			}
+		}
+		nbits += extra
+	case 3: // replace wholesale
+		nbits = rng.Intn(200)
+		data = make([]byte, (nbits+7)/8)
+		rng.Read(data)
+	}
+	out[victim] = bits.Certificate{Data: data, Bits: nbits}
+	return out
+}
+
+// swapTwo exchanges the certificates of two distinct nodes.
+func swapTwo(honest map[graph.ID]bits.Certificate, rng *rand.Rand) map[graph.ID]bits.Certificate {
+	if len(honest) < 2 {
+		return nil
+	}
+	ids := make([]graph.ID, 0, len(honest))
+	for id := range honest {
+		ids = append(ids, id)
+	}
+	a, b := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+	for a == b {
+		b = ids[rng.Intn(len(ids))]
+	}
+	if honest[a].Equal(honest[b]) {
+		return nil // identical certificates: a swap is a no-op
+	}
+	out := make(map[graph.ID]bits.Certificate, len(honest))
+	for id, c := range honest {
+		out[id] = c
+	}
+	out[a], out[b] = out[b], out[a]
+	return out
+}

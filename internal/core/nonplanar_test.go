@@ -1,0 +1,168 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/core"
+	"github.com/planarcert/planarcert/internal/gen"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+func TestNonPlanarCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	graphs := []*graph.Graph{
+		gen.Complete(5),
+		gen.Complete(6),
+		gen.CompleteBipartite(3, 3),
+		gen.CompleteBipartite(3, 5),
+		petersen(),
+		gen.KuratowskiSubdivision(true, 4, rng),
+		gen.KuratowskiSubdivision(false, 4, rng),
+	}
+	for i, g := range graphs {
+		out, err := pls.Run(core.NonPlanarScheme{}, g)
+		if err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if !out.AllAccept() {
+			t.Fatalf("graph %d rejected: %v", i, out.Reasons)
+		}
+	}
+}
+
+func TestNonPlanarCompletenessPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 8; trial++ {
+		g, err := gen.PlantSubdivision(15+rng.Intn(20), trial%2 == 0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g = gen.ScrambleIDs(g, rng)
+		out, err := pls.Run(core.NonPlanarScheme{}, g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !out.AllAccept() {
+			t.Fatalf("trial %d rejected: %v", trial, out.Reasons)
+		}
+	}
+}
+
+func TestNonPlanarProverRejectsPlanar(t *testing.T) {
+	scheme := core.NonPlanarScheme{}
+	if _, err := scheme.Prove(gen.Grid(4, 4)); err == nil {
+		t.Fatal("prover certified a planar graph as non-planar")
+	}
+	disc := graph.NewWithNodes(3)
+	if _, err := scheme.Prove(disc); err == nil {
+		t.Fatal("prover accepted a disconnected graph")
+	}
+}
+
+func TestNonPlanarSoundnessOnPlanarGraphs(t *testing.T) {
+	// Forge a witness on a planar graph: steal honest certificates from a
+	// non-planar donor that shares the ID space.
+	scheme := core.NonPlanarScheme{}
+	donor := gen.Complete(5)
+	certs, err := scheme.Prove(donor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := gen.Grid(2, 3) // 6 nodes: IDs 0..5 cover donor IDs 0..4
+	out := pls.RunWithCerts(scheme, victim, certs)
+	if out.AllAccept() {
+		t.Fatal("planar grid accepted replayed K5 witness")
+	}
+}
+
+func TestNonPlanarSoundnessTamper(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	g, err := gen.PlantSubdivision(18, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := core.NonPlanarScheme{}
+	certs, err := scheme.Prove(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an interior node and break its chain.
+	tampered := false
+	for id, cert := range certs {
+		dec, err := core.DecodeNonPlanarCert(cert.Reader())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Role != core.RoleInterior {
+			continue
+		}
+		dec.Pos += 5
+		var w bits.Writer
+		if err := dec.Encode(&w); err != nil {
+			t.Fatal(err)
+		}
+		forged := make(map[graph.ID]bits.Certificate, len(certs))
+		for k, v := range certs {
+			forged[k] = v
+		}
+		forged[id] = bits.FromWriter(&w)
+		if pls.RunWithCerts(scheme, g, forged).AllAccept() {
+			t.Fatal("broken interior chain accepted")
+		}
+		tampered = true
+		break
+	}
+	if !tampered {
+		t.Skip("no interior vertex in witness (all paths direct)")
+	}
+}
+
+func TestNonPlanarSoundnessMissingBranch(t *testing.T) {
+	// Planar graph, adversary invents branch IDs of nodes that do not
+	// exist: the spanning-tree root check must fail somewhere.
+	g := gen.Grid(3, 3)
+	scheme := core.NonPlanarScheme{}
+	tcs, err := pls.BuildTreeCerts(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certs := make(map[graph.ID]bits.Certificate, g.N())
+	branchIDs := []graph.ID{100, 101, 102, 103, 104} // none exist
+	for v := 0; v < g.N(); v++ {
+		c := core.NonPlanarCert{
+			Tree:      *tcs[g.IDOf(v)],
+			K5:        true,
+			BranchIDs: branchIDs,
+			Role:      core.RoleNone,
+		}
+		var w bits.Writer
+		if err := c.Encode(&w); err != nil {
+			t.Fatal(err)
+		}
+		certs[g.IDOf(v)] = bits.FromWriter(&w)
+	}
+	if pls.RunWithCerts(scheme, g, certs).AllAccept() {
+		t.Fatal("phantom branch IDs accepted")
+	}
+}
+
+func TestNonPlanarCertSizeLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	g, err := gen.PlantSubdivision(200, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pls.Run(core.NonPlanarScheme{}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllAccept() {
+		t.Fatal("rejected")
+	}
+	if out.MaxCertBit > 400 {
+		t.Fatalf("non-planarity certificate %d bits at n≈200", out.MaxCertBit)
+	}
+}

@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/core"
+	"github.com/planarcert/planarcert/internal/gen"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+func TestOuterplanarCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"K1", graph.NewWithNodes(1)},
+		{"K2", gen.Path(2)},
+		{"path", gen.Path(12)},
+		{"cycle", gen.Cycle(11)},
+		{"star", gen.Star(7)},
+		{"tree", gen.RandomTree(25, rng)},
+		{"caterpillar", gen.Caterpillar(5, 9)},
+		{"triangle", gen.Cycle(3)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := pls.Run(core.OuterplanarScheme{}, tc.g)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if !out.AllAccept() {
+				t.Fatalf("%s rejected: %v", tc.name, out.Reasons)
+			}
+		})
+	}
+}
+
+func TestOuterplanarCompletenessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(40)
+		g := gen.RandomOuterplanar(n, rng.Float64(), rng)
+		g = gen.ScrambleIDs(g, rng)
+		out, err := pls.Run(core.OuterplanarScheme{}, g)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+		}
+		if !out.AllAccept() {
+			t.Fatalf("trial %d rejected: %v", trial, out.Reasons)
+		}
+	}
+}
+
+func TestOuterplanarProverRejectsNonMembers(t *testing.T) {
+	scheme := core.OuterplanarScheme{}
+	for i, g := range []*graph.Graph{
+		gen.Complete(4),             // K4 minor
+		gen.CompleteBipartite(2, 3), // K2,3 minor
+		gen.Wheel(7),
+		gen.Grid(3, 3),
+		gen.Complete(5), // not even planar
+	} {
+		if _, err := scheme.Prove(g); err == nil {
+			t.Fatalf("graph %d certified as outerplanar", i)
+		}
+	}
+}
+
+func TestOuterplanarSoundnessPlanarCertsRejected(t *testing.T) {
+	// A planar-but-not-outerplanar graph with *honest planarity*
+	// certificates must be rejected by the outerplanarity verifier: some
+	// node has no sentinel copy.
+	for i, g := range []*graph.Graph{
+		gen.Wheel(8),
+		gen.Grid(3, 4),
+		gen.Complete(4),
+	} {
+		certs, err := (core.PlanarScheme{}).Prove(g)
+		if err != nil {
+			t.Fatalf("graph %d: planar prover failed: %v", i, err)
+		}
+		out := pls.RunWithCerts(core.OuterplanarScheme{}, g, certs)
+		if out.AllAccept() {
+			t.Fatalf("graph %d: outerplanarity accepted planarity certificates on a non-outerplanar graph", i)
+		}
+	}
+}
+
+func TestOuterplanarCertsAlsoProvePlanarity(t *testing.T) {
+	// Outerplanarity certificates are planarity certificates (the
+	// sentinel check is additive), so the planarity verifier accepts them.
+	rng := rand.New(rand.NewSource(43))
+	g := gen.RandomOuterplanar(20, 0.7, rng)
+	certs, err := (core.OuterplanarScheme{}).Prove(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pls.RunWithCerts(core.PlanarScheme{}, g, certs)
+	if !out.AllAccept() {
+		t.Fatalf("planarity verifier rejected outerplanarity certificates: %v", out.Reasons)
+	}
+}
+
+func TestOuterplanarMaximal(t *testing.T) {
+	// Maximal outerplanar graphs (triangulated polygons) at density 1.
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range []int{4, 10, 50, 150} {
+		g := gen.RandomOuterplanar(n, 1.0, rng)
+		out, err := pls.Run(core.OuterplanarScheme{}, g)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !out.AllAccept() {
+			t.Fatalf("n=%d rejected: %v", n, out.Reasons)
+		}
+	}
+}

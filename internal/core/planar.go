@@ -1,0 +1,656 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/dist"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+// MaxEdgeCerts is the cap on edge certificates stored per node. Planar
+// graphs are 5-degenerate, so the honest prover never needs more; the
+// verifier enforces the cap, which keeps certificates at O(log n) bits.
+const MaxEdgeCerts = 5
+
+// EdgeCert is the certificate c(e) of one edge of G (Section 3.3). A tree
+// edge {parent p, child c} is mapped onto the two path edges
+// {PA, CMin} and {CMax, PB} of G_{T,f}: PA and PB are the ranks of p's
+// copies around c's subtree, CMin/CMax are c's first/last copies. A cotree
+// edge {u, v} is mapped onto the single edge {RankU, RankV}. Each rank
+// travels with its path-outerplanarity interval.
+type EdgeCert struct {
+	IsTree bool
+
+	// Tree edge fields.
+	ParentID, ChildID      graph.ID
+	PA, CMin, CMax, PB     int
+	IPA, ICMin, ICMax, IPB Interval
+
+	// Cotree edge fields.
+	IDU, IDV     graph.ID
+	RankU, RankV int
+	IU, IV       Interval
+}
+
+// Involves reports whether id is an endpoint of the certified edge.
+func (e *EdgeCert) Involves(id graph.ID) bool {
+	if e.IsTree {
+		return e.ParentID == id || e.ChildID == id
+	}
+	return e.IDU == id || e.IDV == id
+}
+
+// Other returns the endpoint different from id.
+func (e *EdgeCert) Other(id graph.ID) graph.ID {
+	if e.IsTree {
+		if e.ParentID == id {
+			return e.ChildID
+		}
+		return e.ParentID
+	}
+	if e.IDU == id {
+		return e.IDV
+	}
+	return e.IDU
+}
+
+func (e *EdgeCert) encode(w *bits.Writer, rankWidth int) error {
+	w.WriteBit(e.IsTree)
+	writeRank := func(r int) error { return w.WriteUint(uint64(r), rankWidth) }
+	writeIv := func(i Interval) error {
+		if err := writeRank(i.A); err != nil {
+			return err
+		}
+		return writeRank(i.B)
+	}
+	if e.IsTree {
+		if err := w.WriteVar(uint64(e.ParentID)); err != nil {
+			return err
+		}
+		if err := w.WriteVar(uint64(e.ChildID)); err != nil {
+			return err
+		}
+		for _, r := range []int{e.PA, e.CMin, e.CMax, e.PB} {
+			if err := writeRank(r); err != nil {
+				return err
+			}
+		}
+		for _, iv := range []Interval{e.IPA, e.ICMin, e.ICMax, e.IPB} {
+			if err := writeIv(iv); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := w.WriteVar(uint64(e.IDU)); err != nil {
+		return err
+	}
+	if err := w.WriteVar(uint64(e.IDV)); err != nil {
+		return err
+	}
+	for _, r := range []int{e.RankU, e.RankV} {
+		if err := writeRank(r); err != nil {
+			return err
+		}
+	}
+	for _, iv := range []Interval{e.IU, e.IV} {
+		if err := writeIv(iv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeEdgeCert(r *bits.Reader, rankWidth int) (*EdgeCert, error) {
+	isTree, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	readRank := func() (int, error) {
+		v, err := r.ReadUint(rankWidth)
+		return int(v), err
+	}
+	readIv := func() (Interval, error) {
+		a, err := readRank()
+		if err != nil {
+			return Interval{}, err
+		}
+		b, err := readRank()
+		if err != nil {
+			return Interval{}, err
+		}
+		return Interval{A: a, B: b}, nil
+	}
+	e := &EdgeCert{IsTree: isTree}
+	if isTree {
+		p, err := r.ReadVar()
+		if err != nil {
+			return nil, err
+		}
+		c, err := r.ReadVar()
+		if err != nil {
+			return nil, err
+		}
+		e.ParentID, e.ChildID = graph.ID(p), graph.ID(c)
+		ranks := []*int{&e.PA, &e.CMin, &e.CMax, &e.PB}
+		for _, dst := range ranks {
+			if *dst, err = readRank(); err != nil {
+				return nil, err
+			}
+		}
+		ivs := []*Interval{&e.IPA, &e.ICMin, &e.ICMax, &e.IPB}
+		for _, dst := range ivs {
+			if *dst, err = readIv(); err != nil {
+				return nil, err
+			}
+		}
+		return e, nil
+	}
+	u, err := r.ReadVar()
+	if err != nil {
+		return nil, err
+	}
+	v, err := r.ReadVar()
+	if err != nil {
+		return nil, err
+	}
+	e.IDU, e.IDV = graph.ID(u), graph.ID(v)
+	if e.RankU, err = readRank(); err != nil {
+		return nil, err
+	}
+	if e.RankV, err = readRank(); err != nil {
+		return nil, err
+	}
+	if e.IU, err = readIv(); err != nil {
+		return nil, err
+	}
+	if e.IV, err = readIv(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// PlanarCert is the full node certificate of Theorem 1: the spanning-tree
+// sub-proof plus at most MaxEdgeCerts edge certificates assigned to this
+// node through the 5-degeneracy ordering.
+type PlanarCert struct {
+	Tree  pls.TreeCert
+	Edges []*EdgeCert
+}
+
+// rankWidth returns the fixed bit width for ranks, derived from the
+// claimed n (ranks live in [0, 2n] including interval sentinels).
+func rankWidth(n uint64) int { return bits.WidthFor(2 * n) }
+
+// Encode serialises the certificate.
+func (c *PlanarCert) Encode(w *bits.Writer) error {
+	if err := c.Tree.Encode(w); err != nil {
+		return err
+	}
+	if len(c.Edges) > MaxEdgeCerts {
+		return fmt.Errorf("core: %d edge certificates exceed the cap %d", len(c.Edges), MaxEdgeCerts)
+	}
+	if err := w.WriteUint(uint64(len(c.Edges)), 3); err != nil {
+		return err
+	}
+	rw := rankWidth(c.Tree.N)
+	for _, e := range c.Edges {
+		if err := e.encode(w, rw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodePlanarCert reads a PlanarCert.
+func DecodePlanarCert(r *bits.Reader) (*PlanarCert, error) {
+	tc, err := pls.DecodeTreeCert(r)
+	if err != nil {
+		return nil, err
+	}
+	cnt, err := r.ReadUint(3)
+	if err != nil {
+		return nil, err
+	}
+	if cnt > MaxEdgeCerts {
+		return nil, fmt.Errorf("core: %d edge certificates exceed the cap %d", cnt, MaxEdgeCerts)
+	}
+	c := &PlanarCert{Tree: *tc}
+	rw := rankWidth(tc.N)
+	for i := uint64(0); i < cnt; i++ {
+		e, err := decodeEdgeCert(r, rw)
+		if err != nil {
+			return nil, err
+		}
+		c.Edges = append(c.Edges, e)
+	}
+	return c, nil
+}
+
+// PlanarScheme is the 1-round proof-labeling scheme for planarity of
+// Theorem 1, with certificates of O(log n) bits.
+type PlanarScheme struct{}
+
+// Name implements pls.Scheme.
+func (PlanarScheme) Name() string { return "planarity" }
+
+// Prove implements pls.Scheme: plan the embedding, cut along the DFS tree
+// (Lemma 3), compute intervals, and distribute edge certificates along a
+// degeneracy ordering so every node stores at most five.
+func (PlanarScheme) Prove(g *graph.Graph) (map[graph.ID]bits.Certificate, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty graph", pls.ErrNotInClass)
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("%w: disconnected graph", pls.ErrNotInClass)
+	}
+	tr, err := TransformOf(g)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", pls.ErrNotInClass, err)
+	}
+	return proveFromTransform(g, tr)
+}
+
+// proveFromTransform builds the Theorem 1 certificates from a completed
+// transform (shared by the planarity and outerplanarity provers).
+func proveFromTransform(g *graph.Graph, tr *Transform) (map[graph.ID]bits.Certificate, error) {
+	n := g.N()
+	certs := make(map[graph.ID]*PlanarCert, n)
+	for v := 0; v < n; v++ {
+		copies := tr.Copies[v]
+		size := uint64(copies[len(copies)-1]-copies[0]+2) / 2
+		certs[g.IDOf(v)] = &PlanarCert{
+			Tree: pls.TreeCert{
+				SelfID: g.IDOf(v),
+				RootID: g.IDOf(tr.Root),
+				N:      uint64(n),
+				Dist:   uint64(tr.Depth[v]),
+				Parent: g.IDOf(tr.Parent[v]),
+				Size:   size,
+			},
+		}
+	}
+	// Degeneracy ordering: assign each edge certificate to the endpoint
+	// that comes earlier (which then has at most 5 certified edges).
+	order, degeneracy := g.DegeneracyOrder()
+	if degeneracy > MaxEdgeCerts {
+		return nil, fmt.Errorf("%w: degeneracy %d exceeds 5 — not planar", pls.ErrNotInClass, degeneracy)
+	}
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	iv := func(r int) Interval { return tr.Intervals[r] }
+	for _, e := range g.Edges() {
+		var ec *EdgeCert
+		if tr.Parent[e.U] == e.V || tr.Parent[e.V] == e.U {
+			child, parent := e.U, e.V
+			if tr.Parent[e.V] == e.U {
+				child, parent = e.V, e.U
+			}
+			cc := tr.Copies[child]
+			cMin, cMax := cc[0], cc[len(cc)-1]
+			ec = &EdgeCert{
+				IsTree:   true,
+				ParentID: g.IDOf(parent),
+				ChildID:  g.IDOf(child),
+				PA:       cMin - 1,
+				CMin:     cMin,
+				CMax:     cMax,
+				PB:       cMax + 1,
+				IPA:      iv(cMin - 1),
+				ICMin:    iv(cMin),
+				ICMax:    iv(cMax),
+				IPB:      iv(cMax + 1),
+			}
+		} else {
+			rr := tr.CotreeRanks[e]
+			ec = &EdgeCert{
+				IsTree: false,
+				IDU:    g.IDOf(e.U),
+				IDV:    g.IDOf(e.V),
+				RankU:  rr[0],
+				RankV:  rr[1],
+				IU:     iv(rr[0]),
+				IV:     iv(rr[1]),
+			}
+		}
+		holder := e.U
+		if pos[e.V] < pos[e.U] {
+			holder = e.V
+		}
+		certs[g.IDOf(holder)].Edges = append(certs[g.IDOf(holder)].Edges, ec)
+	}
+	out := make(map[graph.ID]bits.Certificate, n)
+	for id, c := range certs {
+		var w bits.Writer
+		if err := c.Encode(&w); err != nil {
+			return nil, err
+		}
+		out[id] = bits.FromWriter(&w)
+	}
+	return out, nil
+}
+
+// Verify implements pls.Scheme: Algorithm 2 of the paper.
+func (PlanarScheme) Verify(view dist.View) error {
+	_, err := verifyPlanarCore(view)
+	return err
+}
+
+// planarVerifyState exposes the reconstruction computed by Algorithm 2 so
+// that derived schemes (outerplanarity) can add further local checks.
+type planarVerifyState struct {
+	N2       int
+	MyCopies []int
+	Claims   map[int]Interval
+}
+
+// verifyPlanarCore runs Algorithm 2 and returns the reconstructed local
+// state on acceptance.
+func verifyPlanarCore(view dist.View) (*planarVerifyState, error) {
+	return verifyPlanarCoreOpts(view, true)
+}
+
+// verifyPlanarCoreOpts optionally skips the deterministic size counters
+// (subtree sizes and rank spans); the interactive baseline certifies the
+// global rank partition with fingerprints instead.
+func verifyPlanarCoreOpts(view dist.View, withSizes bool) (*planarVerifyState, error) {
+	// Phase 0: decode everything.
+	self, err := DecodePlanarCert(view.Cert.Reader())
+	if err != nil {
+		return nil, err
+	}
+	myID := view.ID
+	if self.Tree.SelfID != myID {
+		return nil, fmt.Errorf("core: certificate claims ID %d, node is %d", self.Tree.SelfID, myID)
+	}
+	nbrs := make(map[graph.ID]*PlanarCert, len(view.Neighbors))
+	treeNbrs := make([]*pls.TreeCert, 0, len(view.Neighbors))
+	for _, nb := range view.Neighbors {
+		c, err := DecodePlanarCert(nb.Cert.Reader())
+		if err != nil {
+			return nil, err
+		}
+		if c.Tree.SelfID != nb.ID {
+			return nil, fmt.Errorf("core: neighbor certificate claims ID %d, neighbor is %d",
+				c.Tree.SelfID, nb.ID)
+		}
+		nbrs[nb.ID] = c
+		treeNbrs = append(treeNbrs, &c.Tree)
+	}
+
+	// Phase 2a (paper order keeps this before the PO simulation): spanning
+	// tree checks.
+	treeCheck := pls.VerifyTreeCertStructure
+	if withSizes {
+		treeCheck = pls.VerifyTreeCert
+	}
+	if err := treeCheck(&self.Tree, myID, view.Degree, treeNbrs); err != nil {
+		return nil, err
+	}
+	n := int(self.Tree.N)
+	n2 := 2*n - 1
+
+	if n == 1 {
+		if view.Degree != 0 {
+			return nil, fmt.Errorf("core: n=1 claimed with degree %d", view.Degree)
+		}
+		return &planarVerifyState{N2: 1, MyCopies: []int{1}, Claims: map[int]Interval{1: Sentinel(1)}}, nil
+	}
+
+	// Phase 1: recover the edge certificates of all incident edges. Each
+	// incident edge {me, y} must have exactly one certificate among those
+	// stored at me and at my neighbors.
+	edgeCerts := make(map[graph.ID][]*EdgeCert, view.Degree)
+	for _, ec := range self.Edges {
+		if !ec.Involves(myID) {
+			return nil, fmt.Errorf("core: stored certificate for foreign edge")
+		}
+		other := ec.Other(myID)
+		if _, ok := nbrs[other]; !ok {
+			return nil, fmt.Errorf("core: stored certificate for non-existent edge to %d", other)
+		}
+		edgeCerts[other] = append(edgeCerts[other], ec)
+	}
+	for nbID, nc := range nbrs {
+		for _, ec := range nc.Edges {
+			if !ec.Involves(nbID) {
+				return nil, fmt.Errorf("core: neighbor %d stores certificate for a foreign edge", nbID)
+			}
+			if !ec.Involves(myID) {
+				continue // about one of the neighbor's other edges
+			}
+			edgeCerts[nbID] = append(edgeCerts[nbID], ec)
+		}
+	}
+	for nbID := range nbrs {
+		if len(edgeCerts[nbID]) != 1 {
+			return nil, fmt.Errorf("core: edge {%d,%d} has %d certificates, want exactly 1",
+				myID, nbID, len(edgeCerts[nbID]))
+		}
+	}
+
+	// Phase 2b: classify each incident edge and check consistency with the
+	// spanning-tree certificates; collect rank/interval claims.
+	claims := make(map[int]Interval) // rank -> interval (conflicts reject)
+	claim := func(rank int, iv Interval) error {
+		if rank < 1 || rank > n2 {
+			return fmt.Errorf("core: rank %d outside [1,%d]", rank, n2)
+		}
+		if prev, ok := claims[rank]; ok && prev != iv {
+			return fmt.Errorf("core: conflicting intervals %v and %v for rank %d", prev, iv, rank)
+		}
+		claims[rank] = iv
+		return nil
+	}
+
+	type childInfo struct {
+		id                 graph.ID
+		pa, cMin, cMax, pb int
+	}
+	var children []childInfo
+	var parentEC *EdgeCert
+	iAmRoot := self.Tree.Dist == 0
+
+	for nbID, ecs := range edgeCerts {
+		ec := ecs[0]
+		nbCert := nbrs[nbID]
+		nbIsMyChild := nbCert.Tree.Parent == myID && nbCert.Tree.Dist == self.Tree.Dist+1
+		nbIsMyParent := self.Tree.Parent == nbID
+		if ec.IsTree {
+			switch {
+			case nbIsMyChild:
+				if ec.ParentID != myID || ec.ChildID != nbID {
+					return nil, fmt.Errorf("core: tree certificate for child %d has wrong orientation", nbID)
+				}
+			case nbIsMyParent:
+				if ec.ParentID != nbID || ec.ChildID != myID {
+					return nil, fmt.Errorf("core: tree certificate for parent %d has wrong orientation", nbID)
+				}
+			default:
+				return nil, fmt.Errorf("core: tree certificate for non-tree edge {%d,%d}", myID, nbID)
+			}
+			if ec.PA+1 != ec.CMin || ec.CMax+1 != ec.PB || ec.CMin > ec.CMax {
+				return nil, fmt.Errorf("core: tree certificate ranks (%d,%d,%d,%d) inconsistent",
+					ec.PA, ec.CMin, ec.CMax, ec.PB)
+			}
+			// Rank span encodes the child's subtree size.
+			childSize := nbCert.Tree.Size
+			if nbIsMyParent {
+				childSize = self.Tree.Size
+			}
+			if withSizes && uint64(ec.CMax-ec.CMin+1) != 2*childSize-1 {
+				return nil, fmt.Errorf("core: rank span [%d,%d] does not match subtree size %d",
+					ec.CMin, ec.CMax, childSize)
+			}
+			for rank, iv := range map[int]Interval{
+				ec.PA: ec.IPA, ec.CMin: ec.ICMin, ec.CMax: ec.ICMax, ec.PB: ec.IPB,
+			} {
+				if err := claim(rank, iv); err != nil {
+					return nil, err
+				}
+			}
+			if nbIsMyChild {
+				children = append(children, childInfo{
+					id: nbID, pa: ec.PA, cMin: ec.CMin, cMax: ec.CMax, pb: ec.PB,
+				})
+			} else {
+				parentEC = ec
+			}
+		} else {
+			if nbIsMyChild || nbIsMyParent {
+				return nil, fmt.Errorf("core: cotree certificate for tree edge {%d,%d}", myID, nbID)
+			}
+			wantIDs := map[graph.ID]bool{myID: true, nbID: true}
+			if !wantIDs[ec.IDU] || !wantIDs[ec.IDV] || ec.IDU == ec.IDV {
+				return nil, fmt.Errorf("core: cotree certificate IDs (%d,%d) mismatch edge {%d,%d}",
+					ec.IDU, ec.IDV, myID, nbID)
+			}
+			if ec.RankU == ec.RankV {
+				return nil, fmt.Errorf("core: cotree certificate with equal ranks %d", ec.RankU)
+			}
+			if err := claim(ec.RankU, ec.IU); err != nil {
+				return nil, err
+			}
+			if err := claim(ec.RankV, ec.IV); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !iAmRoot && parentEC == nil {
+		return nil, fmt.Errorf("core: no tree certificate for my parent edge")
+	}
+	if iAmRoot && parentEC != nil {
+		return nil, fmt.Errorf("core: root has a parent edge certificate")
+	}
+
+	// Phase 2c: reconstruct my copies f^{-1}(me) = {i_1 < ... < i_d} and
+	// check that f is a DFS mapping (the checks of Section 3.3).
+	sort.Slice(children, func(i, j int) bool { return children[i].pa < children[j].pa })
+	var first, last int
+	if iAmRoot {
+		first, last = 1, n2
+	} else {
+		first, last = parentEC.CMin, parentEC.CMax
+	}
+	myCopies := []int{first}
+	cur := first
+	for _, ch := range children {
+		if ch.pa != cur {
+			return nil, fmt.Errorf("core: child %d starts at parent copy %d, want %d", ch.id, ch.pa, cur)
+		}
+		cur = ch.pb
+		myCopies = append(myCopies, cur)
+	}
+	if cur != last {
+		return nil, fmt.Errorf("core: DFS mapping ends at %d, want %d", cur, last)
+	}
+	if withSizes && uint64(last-first+1) != 2*self.Tree.Size-1 {
+		return nil, fmt.Errorf("core: my rank span [%d,%d] does not match my subtree size %d",
+			first, last, self.Tree.Size)
+	}
+
+	copySet := make(map[int]int, len(myCopies)) // rank -> copy index
+	for j, r := range myCopies {
+		copySet[r] = j
+	}
+
+	// Cotree neighbors per copy.
+	cotreePerCopy := make(map[int][]PONeighbor)
+	for nbID, ecs := range edgeCerts {
+		ec := ecs[0]
+		if ec.IsTree {
+			continue
+		}
+		myRank, otherRank := ec.RankU, ec.RankV
+		myIv, otherIv := ec.IU, ec.IV
+		if ec.IDU != myID {
+			myRank, otherRank = ec.RankV, ec.RankU
+			myIv, otherIv = ec.IV, ec.IU
+		}
+		_ = myIv // consistency already enforced through claims
+		if _, ok := copySet[myRank]; !ok {
+			return nil, fmt.Errorf("core: cotree edge to %d attached at rank %d, not one of my copies",
+				nbID, myRank)
+		}
+		if _, mine := copySet[otherRank]; mine {
+			return nil, fmt.Errorf("core: cotree edge to %d attached to two of my copies", nbID)
+		}
+		cotreePerCopy[myRank] = append(cotreePerCopy[myRank], PONeighbor{Rank: otherRank, I: otherIv})
+	}
+
+	// Phase 3: simulate Algorithm 1 at every copy.
+	for j, r := range myCopies {
+		iv, ok := claims[r]
+		if !ok {
+			return nil, fmt.Errorf("core: no interval claimed for my copy at rank %d", r)
+		}
+		pv := PONodeView{N: n2, Rank: r, I: iv}
+		// Left path neighbor (rank r-1).
+		if r > 1 {
+			var leftRank int
+			if j == 0 {
+				leftRank = parentEC.PA // first copy: predecessor is a parent copy
+			} else {
+				leftRank = children[j-1].cMax
+			}
+			if leftRank != r-1 {
+				return nil, fmt.Errorf("core: left path neighbor of rank %d is %d", r, leftRank)
+			}
+			liv, ok := claims[leftRank]
+			if !ok {
+				return nil, fmt.Errorf("core: no interval for left path neighbor %d", leftRank)
+			}
+			pv.Neighbors = append(pv.Neighbors, PONeighbor{Rank: leftRank, I: liv})
+		}
+		// Right path neighbor (rank r+1).
+		if r < n2 {
+			var rightRank int
+			if j < len(children) {
+				rightRank = children[j].cMin
+			} else {
+				rightRank = parentEC.PB
+			}
+			if rightRank != r+1 {
+				return nil, fmt.Errorf("core: right path neighbor of rank %d is %d", r, rightRank)
+			}
+			riv, ok := claims[rightRank]
+			if !ok {
+				return nil, fmt.Errorf("core: no interval for right path neighbor %d", rightRank)
+			}
+			pv.Neighbors = append(pv.Neighbors, PONeighbor{Rank: rightRank, I: riv})
+		}
+		pv.Neighbors = append(pv.Neighbors, cotreePerCopy[r]...)
+		if err := VerifyPONode(pv); err != nil {
+			return nil, fmt.Errorf("copy %d of node %d: %w", r, myID, err)
+		}
+	}
+	return &planarVerifyState{N2: n2, MyCopies: myCopies, Claims: claims}, nil
+}
+
+var _ pls.Scheme = PlanarScheme{}
+
+// PlanarState is the exported form of the verifier's reconstruction, for
+// schemes and protocols layered on Algorithm 2.
+type PlanarState struct {
+	N2       int
+	MyCopies []int
+	Claims   map[int]Interval
+}
+
+// VerifyPlanarNoCounters runs Algorithm 2 WITHOUT the deterministic
+// subtree-size counters (sizes and rank spans). The interactive dMAM
+// baseline uses it and certifies the global rank partition with
+// randomized fingerprints instead.
+func VerifyPlanarNoCounters(view dist.View) (*PlanarState, error) {
+	st, err := verifyPlanarCoreOpts(view, false)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanarState{N2: st.N2, MyCopies: st.MyCopies, Claims: st.Claims}, nil
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/dist"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+// POCert is the certificate of the standalone path-outerplanarity scheme
+// (Lemma 2): the spanning-path proof (a TreeCert whose tree is the
+// Hamiltonian path ranked by DFS depth) plus the covering interval.
+// Rank is Tree.Dist + 1.
+type POCert struct {
+	Tree pls.TreeCert
+	I    Interval
+}
+
+// Encode serialises the certificate; interval endpoints use the fixed
+// width derived from Tree.N.
+func (c *POCert) Encode(w *bits.Writer) error {
+	if err := c.Tree.Encode(w); err != nil {
+		return err
+	}
+	width := bits.WidthFor(uint64(c.Tree.N + 1))
+	if err := w.WriteUint(uint64(c.I.A), width); err != nil {
+		return err
+	}
+	return w.WriteUint(uint64(c.I.B), width)
+}
+
+// DecodePOCert reads a POCert.
+func DecodePOCert(r *bits.Reader) (*POCert, error) {
+	tc, err := pls.DecodeTreeCert(r)
+	if err != nil {
+		return nil, err
+	}
+	width := bits.WidthFor(tc.N + 1)
+	a, err := r.ReadUint(width)
+	if err != nil {
+		return nil, err
+	}
+	b, err := r.ReadUint(width)
+	if err != nil {
+		return nil, err
+	}
+	return &POCert{Tree: *tc, I: Interval{A: int(a), B: int(b)}}, nil
+}
+
+// POScheme is the proof-labeling scheme for path-outerplanar graphs of
+// Lemma 2. The honest prover needs a witness ordering; if none is
+// supplied it tries the node-index order and falls back to exhaustive
+// search on small graphs (finding a witness is a Hamiltonian-path-like
+// problem, which the prover — an unbounded oracle in the model — is
+// allowed to solve).
+type POScheme struct {
+	// Witness optionally fixes the vertex ordering (by node index). If
+	// empty, Prove derives one.
+	Witness []int
+	// SearchLimit bounds the exhaustive witness search (number of nodes);
+	// zero means the default of 9.
+	SearchLimit int
+}
+
+// Name implements pls.Scheme.
+func (POScheme) Name() string { return "path-outerplanar" }
+
+// witnessEdges maps g's edges into rank space for ordering ord.
+func witnessEdges(g *graph.Graph, ord []int) ([]graph.Edge, error) {
+	rank := make([]int, g.N())
+	for i, v := range ord {
+		rank[v] = i + 1
+	}
+	edges := make([]graph.Edge, 0, g.M())
+	for _, e := range g.Edges() {
+		edges = append(edges, graph.NewEdge(rank[e.U], rank[e.V]))
+	}
+	// The ordering must be a path in g: consecutive ranks adjacent.
+	for i := 0; i+1 < len(ord); i++ {
+		if !g.HasEdge(ord[i], ord[i+1]) {
+			return nil, fmt.Errorf("ordering is not a Hamiltonian path at position %d", i)
+		}
+	}
+	return edges, nil
+}
+
+// ValidWitness reports whether ord (node indices) is a path-outerplanarity
+// witness for g.
+func ValidWitness(g *graph.Graph, ord []int) bool {
+	if len(ord) != g.N() {
+		return false
+	}
+	edges, err := witnessEdges(g, ord)
+	if err != nil {
+		return false
+	}
+	_, err = ComputeIntervals(g.N(), edges)
+	return err == nil
+}
+
+// FindWitness searches for a path-outerplanarity witness by backtracking
+// over prefixes (a prefix is viable only while its induced edge set is
+// non-crossing). Exponential in the worst case; intended for small n.
+func FindWitness(g *graph.Graph) ([]int, bool) {
+	n := g.N()
+	if n == 0 {
+		return nil, false
+	}
+	if n == 1 {
+		return []int{0}, true
+	}
+	ord := make([]int, 0, n)
+	used := make([]bool, n)
+	var try func() bool
+	try = func() bool {
+		if len(ord) == n {
+			return ValidWitness(g, ord)
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			if len(ord) > 0 && !g.HasEdge(ord[len(ord)-1], v) {
+				continue // must extend the Hamiltonian path
+			}
+			used[v] = true
+			ord = append(ord, v)
+			if prefixViable(g, ord) && try() {
+				return true
+			}
+			ord = ord[:len(ord)-1]
+			used[v] = false
+		}
+		return false
+	}
+	if try() {
+		return ord, true
+	}
+	return nil, false
+}
+
+// prefixViable checks Definition 1 restricted to edges with both endpoints
+// placed: a crossing among placed edges can never be fixed later.
+func prefixViable(g *graph.Graph, ord []int) bool {
+	rank := make(map[int]int, len(ord))
+	for i, v := range ord {
+		rank[v] = i + 1
+	}
+	var edges []graph.Edge
+	for _, e := range g.Edges() {
+		ru, ok1 := rank[e.U]
+		rv, ok2 := rank[e.V]
+		if ok1 && ok2 {
+			edges = append(edges, graph.NewEdge(ru, rv))
+		}
+	}
+	return CheckWitnessPairwise(edges) == nil
+}
+
+// Prove implements pls.Scheme.
+func (s POScheme) Prove(g *graph.Graph) (map[graph.ID]bits.Certificate, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty graph", pls.ErrNotInClass)
+	}
+	ord := s.Witness
+	if len(ord) == 0 {
+		identity := make([]int, n)
+		for i := range identity {
+			identity[i] = i
+		}
+		if ValidWitness(g, identity) {
+			ord = identity
+		} else {
+			limit := s.SearchLimit
+			if limit == 0 {
+				limit = 9
+			}
+			if n > limit {
+				return nil, fmt.Errorf("%w: no witness supplied and n=%d exceeds search limit %d",
+					pls.ErrNotInClass, n, limit)
+			}
+			found, ok := FindWitness(g)
+			if !ok {
+				return nil, fmt.Errorf("%w: not path-outerplanar", pls.ErrNotInClass)
+			}
+			ord = found
+		}
+	}
+	edges, err := witnessEdges(g, ord)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", pls.ErrNotInClass, err)
+	}
+	intervals, err := ComputeIntervals(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", pls.ErrNotInClass, err)
+	}
+	certs := make(map[graph.ID]bits.Certificate, n)
+	// Subtree sizes along the path: node at rank r roots a path-suffix of
+	// size n - r + 1.
+	for i, v := range ord {
+		rank := i + 1
+		parent := v
+		if i > 0 {
+			parent = ord[i-1]
+		}
+		c := POCert{
+			Tree: pls.TreeCert{
+				SelfID: g.IDOf(v),
+				RootID: g.IDOf(ord[0]),
+				N:      uint64(n),
+				Dist:   uint64(rank - 1),
+				Parent: g.IDOf(parent),
+				Size:   uint64(n - rank + 1),
+			},
+			I: intervals[rank],
+		}
+		var w bits.Writer
+		if err := c.Encode(&w); err != nil {
+			return nil, err
+		}
+		certs[g.IDOf(v)] = bits.FromWriter(&w)
+	}
+	return certs, nil
+}
+
+// Verify implements pls.Scheme: spanning-path checks (a spanning tree in
+// which every node has at most one child) plus Algorithm 1.
+func (s POScheme) Verify(view dist.View) error {
+	self, err := DecodePOCert(view.Cert.Reader())
+	if err != nil {
+		return err
+	}
+	nbrs := make([]*POCert, 0, len(view.Neighbors))
+	treeNbrs := make([]*pls.TreeCert, 0, len(view.Neighbors))
+	for _, nb := range view.Neighbors {
+		c, err := DecodePOCert(nb.Cert.Reader())
+		if err != nil {
+			return err
+		}
+		nbrs = append(nbrs, c)
+		treeNbrs = append(treeNbrs, &c.Tree)
+	}
+	if err := pls.VerifyTreeCert(&self.Tree, view.ID, view.Degree, treeNbrs); err != nil {
+		return err
+	}
+	// Path shape: at most one child in the certified spanning tree, and the
+	// subtree size of a path suffix pins the child count exactly.
+	children := 0
+	for _, nb := range nbrs {
+		if nb.Tree.Parent == self.Tree.SelfID && nb.Tree.Dist == self.Tree.Dist+1 {
+			children++
+		}
+	}
+	if children > 1 {
+		return fmt.Errorf("core: rank %d has %d children, spanning order is not a path",
+			self.Tree.Dist+1, children)
+	}
+	n := int(self.Tree.N)
+	rank := int(self.Tree.Dist) + 1
+	if rank > n {
+		return fmt.Errorf("core: rank %d exceeds n=%d", rank, n)
+	}
+	pv := PONodeView{
+		N:    n,
+		Rank: rank,
+		I:    self.I,
+	}
+	for _, nb := range nbrs {
+		pv.Neighbors = append(pv.Neighbors, PONeighbor{Rank: int(nb.Tree.Dist) + 1, I: nb.I})
+	}
+	return VerifyPONode(pv)
+}
+
+var _ pls.Scheme = POScheme{}

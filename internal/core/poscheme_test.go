@@ -1,0 +1,198 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/core"
+	"github.com/planarcert/planarcert/internal/gen"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+func TestPOSchemeCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(30)
+		g := gen.RandomPathOuterplanar(n, rng.Float64(), rng)
+		out, err := pls.Run(core.POScheme{}, g)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+		}
+		if !out.AllAccept() {
+			t.Fatalf("trial %d (n=%d): rejected: %v", trial, n, out.Reasons)
+		}
+	}
+}
+
+func TestPOSchemeWithExplicitWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := gen.RandomPathOuterplanar(12, 0.7, rng)
+	// Scramble indices so the identity order is no longer a witness, then
+	// supply the true witness explicitly.
+	perm := rng.Perm(12)
+	inv := make([]int, 12)
+	for i, p := range perm {
+		inv[p] = i
+	}
+	h := graph.NewWithNodes(12)
+	for _, e := range g.Edges() {
+		h.MustAddEdge(perm[e.U], perm[e.V])
+	}
+	witness := make([]int, 12)
+	for i := range witness {
+		witness[i] = perm[i]
+	}
+	out, err := pls.Run(core.POScheme{Witness: witness}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllAccept() {
+		t.Fatalf("explicit witness rejected: %v", out.Reasons)
+	}
+}
+
+func TestPOSchemeSearchFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := gen.RandomPathOuterplanar(8, 0.8, rng)
+	perm := rng.Perm(8)
+	h := graph.NewWithNodes(8)
+	for _, e := range g.Edges() {
+		h.MustAddEdge(perm[e.U], perm[e.V])
+	}
+	out, err := pls.Run(core.POScheme{}, h)
+	if err != nil {
+		t.Fatalf("witness search failed: %v", err)
+	}
+	if !out.AllAccept() {
+		t.Fatalf("searched witness rejected: %v", out.Reasons)
+	}
+}
+
+func TestPOSchemeProverRejectsNonMembers(t *testing.T) {
+	scheme := core.POScheme{}
+	for i, g := range []*graph.Graph{
+		gen.Complete(4),
+		gen.Star(5),
+		gen.Grid(3, 3), // not outerplanar (K2,3 minor), hence not PO
+		graph.New(0),
+	} {
+		if _, err := scheme.Prove(g); err == nil {
+			t.Fatalf("graph %d accepted by PO prover", i)
+		}
+	}
+}
+
+func TestPOSchemeSoundnessOnK4(t *testing.T) {
+	// K4 is Hamiltonian but no ordering avoids a crossing. Try every
+	// permutation as a forged rank assignment with brute-force intervals.
+	g := gen.Complete(4)
+	scheme := core.POScheme{}
+	perms := permutations(4)
+	for _, perm := range perms {
+		certs := forgePOCerts(t, g, perm)
+		if pls.RunWithCerts(scheme, g, certs).AllAccept() {
+			t.Fatalf("K4 accepted with rank permutation %v", perm)
+		}
+	}
+}
+
+func TestPOSchemeSoundnessOnStar(t *testing.T) {
+	g := gen.Star(5)
+	scheme := core.POScheme{}
+	for _, perm := range permutations(5) {
+		certs := forgePOCerts(t, g, perm)
+		if pls.RunWithCerts(scheme, g, certs).AllAccept() {
+			t.Fatalf("star accepted with rank permutation %v", perm)
+		}
+	}
+}
+
+// forgePOCerts builds the most plausible forged certificates for ordering
+// perm: ranks follow perm, intervals are the shortest covering edges in
+// rank space (ignoring crossings, which is the best the adversary can do).
+func forgePOCerts(t *testing.T, g *graph.Graph, perm []int) map[graph.ID]bits.Certificate {
+	t.Helper()
+	n := g.N()
+	rank := make([]int, n)
+	for i, v := range perm {
+		rank[v] = i + 1
+	}
+	ivs := make([]core.Interval, n+1)
+	for x := 1; x <= n; x++ {
+		best := core.Sentinel(n)
+		for _, e := range g.Edges() {
+			a, b := rank[e.U], rank[e.V]
+			if a > b {
+				a, b = b, a
+			}
+			if a < x && x < b && b-a < best.B-best.A {
+				best = core.Interval{A: a, B: b}
+			}
+		}
+		ivs[x] = best
+	}
+	certs := make(map[graph.ID]bits.Certificate, n)
+	for v := 0; v < n; v++ {
+		parent := v
+		if rank[v] > 1 {
+			parent = perm[rank[v]-2]
+		}
+		c := core.POCert{
+			Tree: pls.TreeCert{
+				SelfID: g.IDOf(v),
+				RootID: g.IDOf(perm[0]),
+				N:      uint64(n),
+				Dist:   uint64(rank[v] - 1),
+				Parent: g.IDOf(parent),
+				Size:   uint64(n - rank[v] + 1),
+			},
+			I: ivs[rank[v]],
+		}
+		var w bits.Writer
+		if err := c.Encode(&w); err != nil {
+			t.Fatal(err)
+		}
+		certs[g.IDOf(v)] = bits.FromWriter(&w)
+	}
+	return certs
+}
+
+func permutations(n int) [][]int {
+	var out [][]int
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func TestPOSchemeCertSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	g := gen.RandomPathOuterplanar(256, 0.6, rng)
+	out, err := pls.Run(core.POScheme{}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllAccept() {
+		t.Fatal("rejected")
+	}
+	// 256 nodes: certificates must stay well under 200 bits (O(log n)).
+	if out.MaxCertBit > 200 {
+		t.Fatalf("PO certificate %d bits at n=256", out.MaxCertBit)
+	}
+}

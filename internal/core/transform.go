@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/planarcert/planarcert/internal/embedding"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/planarity"
+)
+
+// Transform is the outcome of cutting a planar graph along a spanning tree
+// (Section 3.2 of the paper): a DFS tree T following the rotation system,
+// the DFS-mapping f onto ranks 1..2n-1, and the induced path-outerplanar
+// graph G_{T,f} whose identity order is a witness (Lemma 3).
+type Transform struct {
+	G    *graph.Graph
+	Root int
+
+	// Parent is the tree parent of every vertex (Parent[Root] = Root).
+	Parent []int
+	// ChildOrder lists each vertex's children in the counterclockwise
+	// order ν of the embedding, starting after the parent edge.
+	ChildOrder [][]int
+	// Depth is the DFS tree depth of each vertex.
+	Depth []int
+
+	// N2 = 2n-1 is the number of ranks of G_{T,f}.
+	N2 int
+	// F maps rank (1-based) to the original vertex index.
+	F []int
+	// Copies maps each vertex to its ranks i_1 < ... < i_d.
+	Copies [][]int
+
+	// CotreeEdges maps every cotree edge of G to its unique edge of
+	// G_{T,f} in rank space.
+	CotreeEdges map[graph.Edge]graph.Edge
+	// CotreeRanks maps every cotree edge e (normalised, e.U < e.V as
+	// indices) to the pair [rank of e.U's copy, rank of e.V's copy].
+	CotreeRanks map[graph.Edge][2]int
+	// POEdges is the full edge set of G_{T,f} in rank space: the path
+	// edges {i, i+1} plus the mapped cotree edges.
+	POEdges []graph.Edge
+	// Intervals holds I(x) for each rank x (index 0 unused), as computed
+	// by the nesting sweep; present only after a successful Build.
+	Intervals []Interval
+}
+
+// BuildTransform computes the transform for a connected planar graph g
+// using the planar rotation system rot, rooting the spanning tree at
+// vertex root. It returns an error if g is disconnected or if the
+// construction fails to produce a path-outerplanar graph (which, by
+// Lemma 3, indicates rot is not a planar embedding).
+func BuildTransform(g *graph.Graph, rot *embedding.Rotation, root int) (*Transform, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty graph has no transform")
+	}
+	if err := rot.Validate(g); err != nil {
+		return nil, fmt.Errorf("core: invalid rotation: %w", err)
+	}
+	t := &Transform{
+		G:           g,
+		Root:        root,
+		Parent:      make([]int, n),
+		ChildOrder:  make([][]int, n),
+		Depth:       make([]int, n),
+		N2:          2*n - 1,
+		F:           make([]int, 2*n),
+		Copies:      make([][]int, n),
+		CotreeEdges: make(map[graph.Edge]graph.Edge, g.M()-n+1),
+		CotreeRanks: make(map[graph.Edge][2]int, g.M()-n+1),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+		t.Depth[i] = -1
+	}
+	t.Parent[root] = root
+	t.Depth[root] = 0
+
+	// DFS following the rotation: at v, scan neighbors starting just after
+	// the parent's slot (for the root: from slot 0, i.e. the virtual r'
+	// sits before slot 0). Unvisited neighbors become children in that
+	// order.
+	counter := 0
+	var dfs func(v int)
+	dfs = func(v int) {
+		counter++
+		t.F[counter] = v
+		t.Copies[v] = append(t.Copies[v], counter)
+		rotv := rot.Order[v]
+		start := 0
+		if v != t.Root {
+			p := rot.PositionOf(v, t.Parent[v])
+			start = p + 1
+		}
+		for s := 0; s < len(rotv); s++ {
+			w := rotv[(start+s)%len(rotv)]
+			if v != t.Root && w == t.Parent[v] {
+				continue
+			}
+			if t.Depth[w] == -1 { // tree child
+				t.Parent[w] = v
+				t.Depth[w] = t.Depth[v] + 1
+				t.ChildOrder[v] = append(t.ChildOrder[v], w)
+				dfs(w)
+				counter++
+				t.F[counter] = v
+				t.Copies[v] = append(t.Copies[v], counter)
+			}
+		}
+	}
+	dfs(root)
+	if counter != t.N2 {
+		return nil, fmt.Errorf("core: DFS covered %d ranks, want %d (graph disconnected?)", counter, t.N2)
+	}
+
+	// Path edges of G_{T,f}.
+	t.POEdges = make([]graph.Edge, 0, t.N2-1+g.M())
+	for i := 1; i < t.N2; i++ {
+		t.POEdges = append(t.POEdges, graph.NewEdge(i, i+1))
+	}
+
+	// Cotree edges: attach each endpoint to the copy given by its type
+	// (Lemma 3): scan the rotation forward from the cotree slot; the first
+	// tree-neighbor slot c_k gives copy i_k, wrapping to the parent slot
+	// (or the root's virtual r' boundary) gives copy i_d.
+	for _, e := range g.Edges() {
+		if t.Parent[e.U] == e.V || t.Parent[e.V] == e.U {
+			continue // tree edge
+		}
+		ru := t.copyForCotree(rot, e.U, e.V)
+		rv := t.copyForCotree(rot, e.V, e.U)
+		if ru < 0 || rv < 0 {
+			return nil, fmt.Errorf("core: no copy found for cotree edge %v", e)
+		}
+		po := graph.NewEdge(ru, rv)
+		t.CotreeEdges[e] = po
+		t.CotreeRanks[e] = [2]int{ru, rv}
+		t.POEdges = append(t.POEdges, po)
+	}
+
+	// Compute intervals; the sweep also proves the identity order is a
+	// path-outerplanarity witness (Lemma 3).
+	intervals, err := ComputeIntervals(t.N2, cotreeOnly(t))
+	if err != nil {
+		return nil, fmt.Errorf("core: G_{T,f} not path-outerplanar: %w", err)
+	}
+	t.Intervals = intervals
+	return t, nil
+}
+
+// cotreeOnly lists the non-path PO edges (path edges never strictly cover
+// a rank and never cross anything).
+func cotreeOnly(t *Transform) []graph.Edge {
+	out := make([]graph.Edge, 0, len(t.CotreeEdges))
+	for _, po := range t.CotreeEdges {
+		out = append(out, po)
+	}
+	return out
+}
+
+// copyForCotree determines which copy of v the cotree edge {v, u} attaches
+// to: the rank i_k whose section of the circle C_v contains the edge's
+// crossing point.
+func (t *Transform) copyForCotree(rot *embedding.Rotation, v, u int) int {
+	rotv := rot.Order[v]
+	slot := rot.PositionOf(v, u)
+	if slot < 0 {
+		return -1
+	}
+	copies := t.Copies[v]
+	d := len(copies)
+	// Conceptually rotate so the list starts at the parent slot (root: at
+	// the virtual r' boundary before slot 0). Children then appear in
+	// ChildOrder; scanning forward from the cotree slot, the first tree
+	// slot met is c_k -> copy i_k, and reaching the start-of-list boundary
+	// (the parent / r') -> copy i_d.
+	start := 0
+	if v != t.Root {
+		start = rot.PositionOf(v, t.Parent[v])
+	}
+	// Position of slot in the rotated list (0 = parent/r' boundary).
+	rel := ((slot-start)%len(rotv) + len(rotv)) % len(rotv)
+	childRank := make(map[int]int, len(t.ChildOrder[v]))
+	for k, c := range t.ChildOrder[v] {
+		childRank[c] = k // c_{k+1} in 1-based notation -> copy i_{k+1}
+	}
+	for off := rel + 1; off < len(rotv); off++ {
+		w := rotv[(start+off)%len(rotv)]
+		if k, ok := childRank[w]; ok {
+			return copies[k]
+		}
+		if v != t.Root && w == t.Parent[v] {
+			return copies[d-1]
+		}
+	}
+	// Wrapped to the boundary: parent slot (non-root) or r' (root).
+	return copies[d-1]
+}
+
+// TransformOf is the honest-prover pipeline: test planarity, audit the
+// embedding, and build the transform rooted at vertex 0.
+func TransformOf(g *graph.Graph) (*Transform, error) {
+	ok, rot, err := planarity.Check(g)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: graph is not planar")
+	}
+	planar, err := rot.IsPlanar(g)
+	if err != nil {
+		return nil, err
+	}
+	if !planar {
+		return nil, fmt.Errorf("core: embedding failed Euler audit")
+	}
+	return BuildTransform(g, rot, 0)
+}
+
+// ContractBack verifies Lemma 4's round trip: contracting the path edges
+// {i, i+1} with f(i) = f(i+1+...)... — concretely, mapping every rank back
+// through F and re-adding the cotree edges — must reproduce exactly the
+// original graph.
+func (t *Transform) ContractBack() (*graph.Graph, error) {
+	g := graph.New(t.G.N())
+	for v := 0; v < t.G.N(); v++ {
+		g.MustAddNode(t.G.IDOf(v))
+	}
+	addOnce := func(u, v int) {
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	for _, po := range t.POEdges {
+		addOnce(t.F[po.U], t.F[po.V])
+	}
+	// The contraction must reproduce G exactly.
+	if g.M() != t.G.M() {
+		return nil, fmt.Errorf("core: contraction has %d edges, original %d", g.M(), t.G.M())
+	}
+	for _, e := range t.G.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			return nil, fmt.Errorf("core: contraction lost edge %v", e)
+		}
+	}
+	return g, nil
+}
+
+// NumCopies returns d(v), the number of ranks mapped to v.
+func (t *Transform) NumCopies(v int) int { return len(t.Copies[v]) }

@@ -1,0 +1,210 @@
+// Package embedding implements combinatorial embeddings (rotation systems)
+// of graphs, face traversal, and the Euler-formula audit used to validate
+// that a rotation system is a genuine planar embedding.
+//
+// A rotation system fixes, for every vertex, a cyclic order of its incident
+// half-edges. A rotation system determines a set of faces by the standard
+// face-tracing rule: from the directed edge (u,v), the next directed edge is
+// (v,w) where w is the successor of u in the rotation at v. The rotation
+// system is planar (genus 0) iff n - m + f = 1 + c for c connected
+// components, i.e. n - m + f = 2 for connected graphs.
+package embedding
+
+import (
+	"fmt"
+
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+// Rotation is a combinatorial embedding: Order[u] lists the neighbors of u
+// in (counter)clockwise cyclic order. Which geometric orientation "first"
+// corresponds to is irrelevant combinatorially; all algorithms in this
+// module only rely on consistency.
+type Rotation struct {
+	Order [][]int
+}
+
+// NewRotation returns an empty rotation system for n vertices.
+func NewRotation(n int) *Rotation {
+	return &Rotation{Order: make([][]int, n)}
+}
+
+// FromAdjacency builds a rotation system that uses the graph's adjacency
+// order as the cyclic order. This is *a* rotation system, not necessarily a
+// planar one; useful for tests.
+func FromAdjacency(g *graph.Graph) *Rotation {
+	r := NewRotation(g.N())
+	for u := 0; u < g.N(); u++ {
+		r.Order[u] = append([]int(nil), g.Neighbors(u)...)
+	}
+	return r
+}
+
+// Validate checks that the rotation system matches the graph: every vertex
+// lists exactly its neighbors, once each.
+func (r *Rotation) Validate(g *graph.Graph) error {
+	if len(r.Order) != g.N() {
+		return fmt.Errorf("embedding: rotation has %d vertices, graph has %d", len(r.Order), g.N())
+	}
+	for u := 0; u < g.N(); u++ {
+		if len(r.Order[u]) != g.Degree(u) {
+			return fmt.Errorf("embedding: vertex %d rotation lists %d neighbors, degree is %d",
+				u, len(r.Order[u]), g.Degree(u))
+		}
+		seen := make(map[int]bool, len(r.Order[u]))
+		for _, v := range r.Order[u] {
+			if !g.HasEdge(u, v) {
+				return fmt.Errorf("embedding: rotation at %d lists non-neighbor %d", u, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("embedding: rotation at %d lists %d twice", u, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// half identifies the directed edge (u -> v).
+type half struct{ u, v int }
+
+// next returns, for the directed edge (u,v), the directed edge that follows
+// it on the same face: (v, w) with w the successor of u in rotation at v.
+func (r *Rotation) next(u, v int) (int, int) {
+	rot := r.Order[v]
+	for i, x := range rot {
+		if x == u {
+			return v, rot[(i+1)%len(rot)]
+		}
+	}
+	// Unreachable for validated rotations.
+	return v, u
+}
+
+// Faces traces every face of the rotation system. Each face is returned as
+// the cyclic sequence of vertices visited (one entry per directed edge on
+// the face boundary).
+func (r *Rotation) Faces() [][]int {
+	visited := make(map[half]bool)
+	var faces [][]int
+	for u := range r.Order {
+		for _, v := range r.Order[u] {
+			if visited[half{u, v}] {
+				continue
+			}
+			var face []int
+			cu, cv := u, v
+			for !visited[half{cu, cv}] {
+				visited[half{cu, cv}] = true
+				face = append(face, cu)
+				cu, cv = r.next(cu, cv)
+			}
+			faces = append(faces, face)
+		}
+	}
+	return faces
+}
+
+// Genus computes the total (orientable) genus of the rotation system on
+// graph g, summed over connected components. For each component, Euler's
+// relation on its embedding surface gives n_c - m_c + f_c = 2 - 2*genus_c,
+// where f_c counts the faces traced within that component (an isolated
+// vertex traces no half-edge and contributes its single face directly).
+func (r *Rotation) Genus(g *graph.Graph) int {
+	comps := g.Components()
+	compOf := make([]int, g.N())
+	for ci, comp := range comps {
+		for _, v := range comp {
+			compOf[v] = ci
+		}
+	}
+	facesPer := make([]int, len(comps))
+	for _, face := range r.Faces() {
+		facesPer[compOf[face[0]]]++
+	}
+	edgesPer := make([]int, len(comps))
+	for _, e := range g.Edges() {
+		edgesPer[compOf[e.U]]++
+	}
+	total := 0
+	for ci, comp := range comps {
+		f := facesPer[ci]
+		if edgesPer[ci] == 0 {
+			f = 1 // an isolated vertex has exactly one face
+		}
+		total += (2 - len(comp) + edgesPer[ci] - f) / 2
+	}
+	return total
+}
+
+// IsPlanar reports whether the rotation system is a planar (genus-0)
+// embedding of g, after validating structural consistency.
+func (r *Rotation) IsPlanar(g *graph.Graph) (bool, error) {
+	if err := r.Validate(g); err != nil {
+		return false, err
+	}
+	if g.N() == 0 {
+		return true, nil
+	}
+	return r.Genus(g) == 0, nil
+}
+
+// PositionOf returns the index of neighbor v in u's rotation, or -1.
+func (r *Rotation) PositionOf(u, v int) int {
+	for i, x := range r.Order[u] {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// InsertAfter inserts neighbor w into u's rotation immediately after ref.
+// If ref is -1 (or u's rotation is empty), w is appended.
+func (r *Rotation) InsertAfter(u, ref, w int) {
+	if ref < 0 || len(r.Order[u]) == 0 {
+		r.Order[u] = append(r.Order[u], w)
+		return
+	}
+	i := r.PositionOf(u, ref)
+	if i < 0 {
+		r.Order[u] = append(r.Order[u], w)
+		return
+	}
+	r.Order[u] = append(r.Order[u], 0)
+	copy(r.Order[u][i+2:], r.Order[u][i+1:])
+	r.Order[u][i+1] = w
+}
+
+// InsertBefore inserts neighbor w into u's rotation immediately before ref.
+func (r *Rotation) InsertBefore(u, ref, w int) {
+	if ref < 0 || len(r.Order[u]) == 0 {
+		r.Order[u] = append(r.Order[u], w)
+		return
+	}
+	i := r.PositionOf(u, ref)
+	if i < 0 {
+		r.Order[u] = append(r.Order[u], w)
+		return
+	}
+	r.Order[u] = append(r.Order[u], 0)
+	copy(r.Order[u][i+1:], r.Order[u][i:])
+	r.Order[u][i] = w
+}
+
+// PrependFirst inserts w at the front of u's rotation.
+func (r *Rotation) PrependFirst(u, w int) {
+	r.Order[u] = append([]int{w}, r.Order[u]...)
+}
+
+// Clone returns a deep copy of the rotation system.
+func (r *Rotation) Clone() *Rotation {
+	c := NewRotation(len(r.Order))
+	for u := range r.Order {
+		c.Order[u] = append([]int(nil), r.Order[u]...)
+	}
+	return c
+}
+
+// FaceCount returns the number of faces (convenience wrapper).
+func (r *Rotation) FaceCount() int { return len(r.Faces()) }

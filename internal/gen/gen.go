@@ -1,0 +1,383 @@
+// Package gen provides deterministic and seeded graph generators for every
+// graph family used by the experiments: planar families (trees, grids,
+// outerplanar, series-parallel, stacked triangulations, random planar),
+// non-planar families (complete graphs, complete bipartite graphs,
+// Kuratowski subdivisions planted in planar hosts), and utility generators
+// (paths, cycles, wheels, G(n,m)).
+//
+// Generators return graphs whose identifiers initially equal node indices;
+// ScrambleIDs relabels a graph with random distinct identifiers from a
+// range polynomial in n, matching the model of the paper.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+// Path returns the path graph on n vertices (n >= 1).
+func Path(n int) *graph.Graph {
+	g := graph.NewWithNodes(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n vertices (n >= 3).
+func Cycle(n int) *graph.Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.MustAddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *graph.Graph {
+	g := graph.NewWithNodes(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+// Wheel returns the wheel graph: a cycle on n-1 vertices plus a hub (index
+// n-1) adjacent to all of them. Requires n >= 4.
+func Wheel(n int) *graph.Graph {
+	g := graph.NewWithNodes(n)
+	for i := 0; i+1 < n-1; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	g.MustAddEdge(n-2, 0)
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(n-1, i)
+	}
+	return g
+}
+
+// Complete returns K_n.
+func Complete(n int) *graph.Graph {
+	g := graph.NewWithNodes(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{p,q} with parts {0..p-1} and {p..p+q-1}.
+func CompleteBipartite(p, q int) *graph.Graph {
+	g := graph.NewWithNodes(p + q)
+	for i := 0; i < p; i++ {
+		for j := 0; j < q; j++ {
+			g.MustAddEdge(i, p+j)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *graph.Graph {
+	g := graph.NewWithNodes(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree on n vertices
+// (random Prüfer-like attachment: each new vertex attaches to a uniform
+// existing vertex — a random recursive tree).
+func RandomTree(n int, rng *rand.Rand) *graph.Graph {
+	g := graph.NewWithNodes(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i, rng.Intn(i))
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar tree: a spine of length spine with
+// legs extra leaves distributed round-robin along the spine.
+func Caterpillar(spine, legs int) *graph.Graph {
+	g := graph.NewWithNodes(spine + legs)
+	for i := 0; i+1 < spine; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	for l := 0; l < legs; l++ {
+		g.MustAddEdge(l%spine, spine+l)
+	}
+	return g
+}
+
+// StackedTriangulation returns a random maximal planar graph ("Apollonian
+// network") on n >= 3 vertices: start from a triangle and repeatedly insert
+// a vertex inside a uniformly random face, connecting it to the face's
+// three corners. The result has exactly 3n-6 edges and is planar by
+// construction.
+func StackedTriangulation(n int, rng *rand.Rand) *graph.Graph {
+	if n < 3 {
+		return Complete(n)
+	}
+	g := graph.NewWithNodes(n)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	// Track faces as vertex triples; both sides of the initial triangle.
+	faces := [][3]int{{0, 1, 2}, {0, 2, 1}}
+	for v := 3; v < n; v++ {
+		fi := rng.Intn(len(faces))
+		f := faces[fi]
+		g.MustAddEdge(v, f[0])
+		g.MustAddEdge(v, f[1])
+		g.MustAddEdge(v, f[2])
+		faces[fi] = [3]int{f[0], f[1], v}
+		faces = append(faces, [3]int{f[1], f[2], v}, [3]int{f[2], f[0], v})
+	}
+	return g
+}
+
+// RandomPlanar returns a random connected planar graph on n vertices with
+// approximately m edges (n-1 <= m <= 3n-6): a stacked triangulation whose
+// surplus edges are deleted uniformly at random under the constraint that
+// the graph stays connected. Planarity holds by construction (subgraph of
+// a planar graph).
+func RandomPlanar(n, m int, rng *rand.Rand) (*graph.Graph, error) {
+	if n >= 3 && (m < n-1 || m > 3*n-6) {
+		return nil, fmt.Errorf("gen: RandomPlanar(n=%d) needs n-1 <= m <= 3n-6, got m=%d", n, m)
+	}
+	g := StackedTriangulation(n, rng)
+	if n < 3 {
+		return g, nil
+	}
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		if g.M() <= m {
+			break
+		}
+		g.RemoveEdge(e.U, e.V)
+		if !g.Connected() {
+			g.MustAddEdge(e.U, e.V) // rollback: deleting would disconnect
+		}
+	}
+	if g.M() > m {
+		return nil, fmt.Errorf("gen: RandomPlanar could not reach m=%d (stuck at %d)", m, g.M())
+	}
+	return g, nil
+}
+
+// RandomOuterplanar returns a random maximal-ish outerplanar graph: the
+// cycle 0..n-1 plus a uniformly random set of non-crossing chords produced
+// by recursive splitting. density in [0,1] controls how many of the
+// possible chords are kept.
+func RandomOuterplanar(n int, density float64, rng *rand.Rand) *graph.Graph {
+	g := Cycle(n)
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		// {lo,hi} is a valid non-crossing chord unless it coincides with
+		// the wrap-around cycle edge {0, n-1}.
+		if hi-lo < n-1 && !g.HasEdge(lo, hi) && rng.Float64() < density {
+			g.MustAddEdge(lo, hi)
+		}
+		mid := lo + 1 + rng.Intn(hi-lo-1)
+		split(lo, mid)
+		split(mid, hi)
+	}
+	if n >= 4 {
+		split(0, n-1)
+	}
+	return g
+}
+
+// SeriesParallel returns a random 2-terminal series-parallel graph with
+// roughly size internal compositions. Series-parallel graphs exclude K4 as
+// a minor and are planar.
+func SeriesParallel(size int, rng *rand.Rand) *graph.Graph {
+	// Build recursively as an edge-expansion process: start with one edge
+	// (the terminals), repeatedly pick an existing edge and either
+	// subdivide it (series) or duplicate it via a new parallel two-path
+	// (parallel with an intermediate vertex, to stay simple).
+	g := graph.NewWithNodes(2)
+	g.MustAddEdge(0, 1)
+	type pair struct{ u, v int }
+	edges := []pair{{0, 1}}
+	for step := 0; step < size; step++ {
+		e := edges[rng.Intn(len(edges))]
+		w := g.MustAddNode(graph.ID(g.N()))
+		if rng.Intn(2) == 0 && g.RemoveEdge(e.u, e.v) {
+			// Series: subdivide e.
+			g.MustAddEdge(e.u, w)
+			g.MustAddEdge(w, e.v)
+			for i := range edges {
+				if edges[i] == e {
+					edges[i] = pair{e.u, w}
+					break
+				}
+			}
+			edges = append(edges, pair{w, e.v})
+		} else {
+			// Parallel: add a disjoint two-edge path between u and v.
+			g.MustAddEdge(e.u, w)
+			g.MustAddEdge(w, e.v)
+			edges = append(edges, pair{e.u, w}, pair{w, e.v})
+		}
+	}
+	return g
+}
+
+// KuratowskiSubdivision returns a subdivision of K5 (if k5 is true) or of
+// K3,3, where every branch edge is subdivided into a path of random length
+// in [1, maxStretch] edges.
+func KuratowskiSubdivision(k5 bool, maxStretch int, rng *rand.Rand) *graph.Graph {
+	var base *graph.Graph
+	if k5 {
+		base = Complete(5)
+	} else {
+		base = CompleteBipartite(3, 3)
+	}
+	return SubdivideEdges(base, maxStretch, rng)
+}
+
+// SubdivideEdges subdivides every edge of g into a path with a random
+// number of interior vertices in [0, maxStretch-1].
+func SubdivideEdges(g *graph.Graph, maxStretch int, rng *rand.Rand) *graph.Graph {
+	out := graph.NewWithNodes(g.N())
+	for _, e := range g.Edges() {
+		inner := 0
+		if maxStretch > 1 {
+			inner = rng.Intn(maxStretch)
+		}
+		prev := e.U
+		for i := 0; i < inner; i++ {
+			w := out.MustAddNode(graph.ID(out.N()))
+			out.MustAddEdge(prev, w)
+			prev = w
+		}
+		out.MustAddEdge(prev, e.V)
+	}
+	return out
+}
+
+// PlantSubdivision embeds a Kuratowski subdivision into a random planar
+// host: the host is generated with RandomPlanar, and the subdivision's
+// vertices are fused onto distinct host vertices by adding its edges
+// between them (bridged through fresh subdivision vertices so no multi-
+// edges arise). The result is connected and non-planar.
+func PlantSubdivision(hostN int, k5 bool, rng *rand.Rand) (*graph.Graph, error) {
+	host, err := RandomPlanar(hostN, 2*hostN-3, rng)
+	if err != nil {
+		return nil, err
+	}
+	var branch int
+	if k5 {
+		branch = 5
+	} else {
+		branch = 6
+	}
+	perm := rng.Perm(hostN)[:branch]
+	pairs := make([][2]int, 0, 10)
+	if k5 {
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				pairs = append(pairs, [2]int{perm[i], perm[j]})
+			}
+		}
+	} else {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				pairs = append(pairs, [2]int{perm[i], perm[3+j]})
+			}
+		}
+	}
+	for _, p := range pairs {
+		// Always bridge through a fresh vertex: keeps the graph simple even
+		// if the host already has the edge.
+		w := host.MustAddNode(graph.ID(host.N()))
+		host.MustAddEdge(p[0], w)
+		host.MustAddEdge(w, p[1])
+	}
+	return host, nil
+}
+
+// GNM returns a uniformly random simple graph with n vertices and m edges.
+func GNM(n, m int, rng *rand.Rand) (*graph.Graph, error) {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		return nil, fmt.Errorf("gen: GNM(n=%d) supports at most %d edges, got %d", n, maxM, m)
+	}
+	g := graph.NewWithNodes(n)
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v)
+	}
+	return g, nil
+}
+
+// ScrambleIDs returns a copy of g with fresh random distinct identifiers
+// drawn from [0, n^2), matching the paper's polynomial ID range.
+func ScrambleIDs(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	n := g.N()
+	rangeMax := n * n
+	if rangeMax < 8 {
+		rangeMax = 8
+	}
+	used := make(map[int]bool, n)
+	ids := make([]graph.ID, n)
+	for i := range ids {
+		for {
+			cand := rng.Intn(rangeMax)
+			if !used[cand] {
+				used[cand] = true
+				ids[i] = graph.ID(cand)
+				break
+			}
+		}
+	}
+	out, err := g.RelabelIDs(ids)
+	if err != nil {
+		// Unreachable: identifiers are distinct by construction.
+		panic(err)
+	}
+	return out
+}
+
+// RandomPathOuterplanar returns a random path-outerplanar graph with
+// witness ordering 0..n-1: the path 0-1-...-(n-1) plus a random set of
+// non-crossing chords (Definition 1 of the paper holds by construction).
+func RandomPathOuterplanar(n int, density float64, rng *rand.Rand) *graph.Graph {
+	g := Path(n)
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		if !g.HasEdge(lo, hi) && rng.Float64() < density {
+			g.MustAddEdge(lo, hi)
+		}
+		mid := lo + 1 + rng.Intn(hi-lo-1)
+		split(lo, mid)
+		split(mid, hi)
+	}
+	if n >= 3 {
+		split(0, n-1)
+	}
+	return g
+}

@@ -1,0 +1,197 @@
+package gen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/gen"
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+func TestPathCycleStar(t *testing.T) {
+	p := gen.Path(6)
+	if p.N() != 6 || p.M() != 5 {
+		t.Fatalf("Path(6) = %v", p)
+	}
+	c := gen.Cycle(6)
+	if c.M() != 6 {
+		t.Fatalf("Cycle(6) = %v", c)
+	}
+	for v := 0; v < 6; v++ {
+		if c.Degree(v) != 2 {
+			t.Fatalf("cycle degree at %d = %d", v, c.Degree(v))
+		}
+	}
+	s := gen.Star(7)
+	if s.Degree(0) != 6 || s.M() != 6 {
+		t.Fatalf("Star(7) = %v", s)
+	}
+}
+
+func TestWheel(t *testing.T) {
+	w := gen.Wheel(6)
+	if w.N() != 6 || w.M() != 10 {
+		t.Fatalf("Wheel(6) = %v, want n=6 m=10", w)
+	}
+	if w.Degree(5) != 5 {
+		t.Fatalf("hub degree = %d, want 5", w.Degree(5))
+	}
+}
+
+func TestCompleteAndBipartite(t *testing.T) {
+	k := gen.Complete(6)
+	if k.M() != 15 {
+		t.Fatalf("K6 edges = %d", k.M())
+	}
+	b := gen.CompleteBipartite(3, 4)
+	if b.N() != 7 || b.M() != 12 {
+		t.Fatalf("K3,4 = %v", b)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j && b.HasEdge(i, j) {
+				t.Fatal("edge inside left part")
+			}
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := gen.Grid(4, 5)
+	if g.N() != 20 || g.M() != 4*4+5*3 {
+		t.Fatalf("Grid(4,5) = %v, want n=20 m=31", g)
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(50)
+		g := gen.RandomTree(n, rng)
+		if g.M() != n-1 || !g.Connected() {
+			t.Fatalf("RandomTree(%d): m=%d connected=%v", n, g.M(), g.Connected())
+		}
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := gen.Caterpillar(5, 8)
+	if g.N() != 13 || g.M() != 12 || !g.Connected() {
+		t.Fatalf("Caterpillar = %v", g)
+	}
+}
+
+func TestStackedTriangulationShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 10, 64} {
+		g := gen.StackedTriangulation(n, rng)
+		if g.N() != n || g.M() != 3*n-6 || !g.Connected() {
+			t.Fatalf("stacked(%d) = %v", n, g)
+		}
+	}
+	if g := gen.StackedTriangulation(2, rng); g.M() != 1 {
+		t.Fatalf("stacked(2) = %v", g)
+	}
+}
+
+func TestRandomPlanarEdgeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := gen.RandomPlanar(30, 45, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 45 || !g.Connected() {
+		t.Fatalf("RandomPlanar(30,45) = %v connected=%v", g, g.Connected())
+	}
+	if _, err := gen.RandomPlanar(30, 200, rng); err == nil {
+		t.Fatal("RandomPlanar accepted m > 3n-6")
+	}
+	if _, err := gen.RandomPlanar(30, 5, rng); err == nil {
+		t.Fatal("RandomPlanar accepted m < n-1")
+	}
+}
+
+func TestRandomOuterplanarShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.RandomOuterplanar(20, 1.0, rng)
+	if !g.Connected() || g.M() < 20 {
+		t.Fatalf("outerplanar = %v", g)
+	}
+	// Full density must add at least a few chords.
+	if g.M() == 20 {
+		t.Fatal("density 1.0 added no chords")
+	}
+}
+
+func TestSeriesParallelConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		g := gen.SeriesParallel(30, rng)
+		if !g.Connected() {
+			t.Fatal("series-parallel disconnected")
+		}
+	}
+}
+
+func TestSubdivideEdgesKeepsDegreeProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := gen.Complete(5)
+	s := gen.SubdivideEdges(g, 3, rng)
+	// Branch vertices keep degree 4; all new vertices have degree 2.
+	for v := 0; v < 5; v++ {
+		if s.Degree(v) != 4 {
+			t.Fatalf("branch degree = %d", s.Degree(v))
+		}
+	}
+	for v := 5; v < s.N(); v++ {
+		if s.Degree(v) != 2 {
+			t.Fatalf("interior degree = %d", s.Degree(v))
+		}
+	}
+}
+
+func TestGNM(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := gen.GNM(10, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 || g.M() != 20 {
+		t.Fatalf("GNM = %v", g)
+	}
+	if _, err := gen.GNM(4, 10, rng); err == nil {
+		t.Fatal("GNM accepted impossible edge count")
+	}
+}
+
+func TestScrambleIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := gen.Grid(3, 3)
+	s := gen.ScrambleIDs(g, rng)
+	if s.N() != g.N() || s.M() != g.M() {
+		t.Fatalf("scramble changed shape: %v vs %v", s, g)
+	}
+	seen := make(map[graph.ID]bool)
+	for i := 0; i < s.N(); i++ {
+		id := s.IDOf(i)
+		if seen[id] {
+			t.Fatalf("duplicate scrambled ID %d", id)
+		}
+		seen[id] = true
+		if int(id) < 0 || int(id) >= s.N()*s.N() {
+			t.Fatalf("ID %d outside polynomial range", id)
+		}
+	}
+}
+
+func TestKuratowskiSubdivisionShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	k5 := gen.KuratowskiSubdivision(true, 1, rng)
+	if k5.N() != 5 || k5.M() != 10 {
+		t.Fatalf("unstretched K5 subdivision = %v", k5)
+	}
+	k33 := gen.KuratowskiSubdivision(false, 5, rng)
+	if k33.N() < 6 || k33.M() < 9 {
+		t.Fatalf("K3,3 subdivision = %v", k33)
+	}
+}

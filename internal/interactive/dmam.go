@@ -1,0 +1,255 @@
+package interactive
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/core"
+	"github.com/planarcert/planarcert/internal/dist"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+// View is the information available to one node at the end of a dMAM
+// execution: the shared challenge, its two certificates, and both
+// certificates of every neighbor.
+type View struct {
+	ID        graph.ID
+	Degree    int
+	Challenge uint64
+	First     bits.Certificate
+	Second    bits.Certificate
+	Neighbors []NeighborView
+}
+
+// NeighborView carries one neighbor's certificates.
+type NeighborView struct {
+	ID     graph.ID
+	First  bits.Certificate
+	Second bits.Certificate
+}
+
+// Protocol is a three-interaction dMAM protocol: Merlin speaks, Arthur
+// challenges with shared randomness, Merlin answers, then one round of
+// local verification.
+type Protocol interface {
+	Name() string
+	// Merlin1 commits to the structure (before seeing the challenge).
+	Merlin1(g *graph.Graph) (map[graph.ID]bits.Certificate, error)
+	// Merlin2 answers the challenge.
+	Merlin2(g *graph.Graph, challenge uint64) (map[graph.ID]bits.Certificate, error)
+	// Verify is each node's local decision.
+	Verify(view View) error
+}
+
+// Stats summarises a dMAM execution for the comparison experiments.
+type Stats struct {
+	Interactions int     // prover/verifier alternations (always 3)
+	RandomBits   int     // shared random bits drawn by Arthur
+	MaxCertBit   int     // largest single certificate (either message)
+	SoundnessErr float64 // upper bound n2 / P on the fingerprint error
+	Outcome      *dist.Outcome
+}
+
+// Run executes proto honestly: Merlin1, a uniform challenge from rng,
+// Merlin2, then the verification round.
+func Run(proto Protocol, g *graph.Graph, rng *rand.Rand) (*Stats, error) {
+	m1, err := proto.Merlin1(g)
+	if err != nil {
+		return nil, fmt.Errorf("%s merlin1: %w", proto.Name(), err)
+	}
+	challenge := rng.Uint64() % P
+	m2, err := proto.Merlin2(g, challenge)
+	if err != nil {
+		return nil, fmt.Errorf("%s merlin2: %w", proto.Name(), err)
+	}
+	return RunWithMessages(proto, g, challenge, m1, m2), nil
+}
+
+// RunWithMessages executes the verification round against arbitrary
+// (possibly adversarial) Merlin messages.
+func RunWithMessages(proto Protocol, g *graph.Graph, challenge uint64,
+	m1, m2 map[graph.ID]bits.Certificate) *Stats {
+	st := &Stats{
+		Interactions: 3,
+		RandomBits:   61,
+		SoundnessErr: float64(2*g.N()) / float64(P),
+	}
+	for _, m := range []map[graph.ID]bits.Certificate{m1, m2} {
+		for _, c := range m {
+			if c.Bits > st.MaxCertBit {
+				st.MaxCertBit = c.Bits
+			}
+		}
+	}
+	// Both certificates travel together in the verification round.
+	combined := make(map[graph.ID]bits.Certificate, g.N())
+	for u := 0; u < g.N(); u++ {
+		id := g.IDOf(u)
+		var w bits.Writer
+		c1, c2 := m1[id], m2[id]
+		// Length-prefixed concatenation so the verifier can split.
+		if err := w.WriteVar(uint64(c1.Bits)); err != nil {
+			continue
+		}
+		r1 := c1.Reader()
+		for i := 0; i < c1.Bits; i++ {
+			b, _ := r1.ReadBit()
+			w.WriteBit(b)
+		}
+		r2 := c2.Reader()
+		for i := 0; i < c2.Bits; i++ {
+			b, _ := r2.ReadBit()
+			w.WriteBit(b)
+		}
+		combined[id] = bits.FromWriter(&w)
+	}
+	split := func(c bits.Certificate) (bits.Certificate, bits.Certificate, error) {
+		r := c.Reader()
+		l1, err := r.ReadVar()
+		if err != nil {
+			return bits.Certificate{}, bits.Certificate{}, err
+		}
+		var w1, w2 bits.Writer
+		for i := uint64(0); i < l1; i++ {
+			b, err := r.ReadBit()
+			if err != nil {
+				return bits.Certificate{}, bits.Certificate{}, err
+			}
+			w1.WriteBit(b)
+		}
+		for r.Remaining() > 0 {
+			b, err := r.ReadBit()
+			if err != nil {
+				return bits.Certificate{}, bits.Certificate{}, err
+			}
+			w2.WriteBit(b)
+		}
+		return bits.FromWriter(&w1), bits.FromWriter(&w2), nil
+	}
+	st.Outcome = dist.RunPLS(g, combined, func(v dist.View) error {
+		first, second, err := split(v.Cert)
+		if err != nil {
+			return err
+		}
+		iv := View{
+			ID:        v.ID,
+			Degree:    v.Degree,
+			Challenge: challenge,
+			First:     first,
+			Second:    second,
+		}
+		for _, nb := range v.Neighbors {
+			f, s, err := split(nb.Cert)
+			if err != nil {
+				return err
+			}
+			iv.Neighbors = append(iv.Neighbors, NeighborView{ID: nb.ID, First: f, Second: s})
+		}
+		return proto.Verify(iv)
+	})
+	return st
+}
+
+// PlanarityDMAM is the dMAM baseline for planarity. Merlin1 sends the
+// Theorem 1 certificates (whose size counters the verifier will ignore);
+// Merlin2 sends, for each node, the fingerprint of the DFS ranks of its
+// subtree at the challenge point. Verification: Algorithm 2 without
+// counters, plus the telescoping product check, plus the root's
+// comparison against prod_{r=1}^{2n-1} (z - r).
+type PlanarityDMAM struct{}
+
+// Name implements Protocol.
+func (PlanarityDMAM) Name() string { return "planarity-dMAM" }
+
+// Merlin1 implements Protocol.
+func (PlanarityDMAM) Merlin1(g *graph.Graph) (map[graph.ID]bits.Certificate, error) {
+	return core.PlanarScheme{}.Prove(g)
+}
+
+// Merlin2 implements Protocol.
+func (PlanarityDMAM) Merlin2(g *graph.Graph, challenge uint64) (map[graph.ID]bits.Certificate, error) {
+	tr, err := core.TransformOf(g)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", pls.ErrNotInClass, err)
+	}
+	// Subtree fingerprint per node, bottom-up over the DFS tree.
+	fp := make([]uint64, g.N())
+	var compute func(v int) uint64
+	compute = func(v int) uint64 {
+		acc := MultisetProduct(challenge, tr.Copies[v])
+		for _, c := range tr.ChildOrder[v] {
+			acc = Mul(acc, compute(c))
+		}
+		fp[v] = acc
+		return acc
+	}
+	compute(tr.Root)
+	out := make(map[graph.ID]bits.Certificate, g.N())
+	for v := 0; v < g.N(); v++ {
+		var w bits.Writer
+		if err := w.WriteUint(fp[v], 61); err != nil {
+			return nil, err
+		}
+		out[g.IDOf(v)] = bits.FromWriter(&w)
+	}
+	return out, nil
+}
+
+// Verify implements Protocol.
+func (PlanarityDMAM) Verify(view View) error {
+	// Algorithm 2 without the deterministic counters.
+	st, err := core.VerifyPlanarNoCounters(dist.View{
+		ID:     view.ID,
+		Degree: view.Degree,
+		Cert:   view.First,
+		Neighbors: func() []dist.NeighborCert {
+			out := make([]dist.NeighborCert, 0, len(view.Neighbors))
+			for _, nb := range view.Neighbors {
+				out = append(out, dist.NeighborCert{ID: nb.ID, Cert: nb.First})
+			}
+			return out
+		}(),
+	})
+	if err != nil {
+		return err
+	}
+	self, err := core.DecodePlanarCert(view.First.Reader())
+	if err != nil {
+		return err
+	}
+	myFP, err := view.Second.Reader().ReadUint(61)
+	if err != nil {
+		return err
+	}
+	// Telescoping: my fingerprint = (my local product) * (children's
+	// fingerprints).
+	want := MultisetProduct(view.Challenge, st.MyCopies)
+	for _, nb := range view.Neighbors {
+		nc, err := core.DecodePlanarCert(nb.First.Reader())
+		if err != nil {
+			return err
+		}
+		if nc.Tree.Parent == view.ID && nc.Tree.Dist == self.Tree.Dist+1 {
+			childFP, err := nb.Second.Reader().ReadUint(61)
+			if err != nil {
+				return err
+			}
+			want = Mul(want, childFP)
+		}
+	}
+	if myFP != want {
+		return fmt.Errorf("interactive: fingerprint mismatch at node %d", view.ID)
+	}
+	// Root: the aggregate must equal prod_{r=1}^{2n-1} (z - r).
+	if self.Tree.Dist == 0 {
+		target := RangeProduct(view.Challenge, 1, st.N2)
+		if myFP != target {
+			return fmt.Errorf("interactive: root fingerprint does not match {1..%d}", st.N2)
+		}
+	}
+	return nil
+}
+
+var _ Protocol = PlanarityDMAM{}

@@ -1,0 +1,75 @@
+// Package interactive implements the distributed interactive-proof
+// baseline that the paper improves on: a dMAM (Merlin–Arthur–Merlin)
+// protocol for planarity in the style of Naor, Parter and Yogev (SODA
+// 2020), with O(log n)-bit messages, one random challenge, and soundness
+// error O(n / 2^61).
+//
+// The NPY compiler itself (which certifies the execution of an arbitrary
+// sequential algorithm) has no public implementation and compiles RAM
+// programs; this package substitutes the closest protocol with the same
+// interface costs: Merlin commits to the Theorem 1 structure WITHOUT the
+// deterministic subtree-size counters, Arthur broadcasts a random field
+// element z, and Merlin answers with subtree-aggregated polynomial
+// fingerprints that certify that the DFS ranks partition {1,...,2n-1} —
+// the permutation-consistency primitive at the heart of the NPY
+// construction.
+package interactive
+
+import "math/bits"
+
+// P is the field modulus 2^61 - 1 (a Mersenne prime), so products of
+// reduced elements fit in 122 bits and reduce cheaply.
+const P uint64 = (1 << 61) - 1
+
+// Add returns a + b mod P.
+func Add(a, b uint64) uint64 {
+	s := a + b
+	if s >= P {
+		s -= P
+	}
+	return s
+}
+
+// Sub returns a - b mod P.
+func Sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + P - b
+}
+
+// Mul returns a * b mod P using 128-bit intermediate arithmetic and
+// Mersenne reduction.
+func Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo; 2^64 = 8 mod P (since 2^61 = 1 mod P).
+	// Split lo into low 61 bits and the 3-bit overflow.
+	low := lo & P
+	rest := hi<<3 | lo>>61 // (hi*2^64 + lo) >> 61
+	res := low + rest
+	for res >= P {
+		res = (res & P) + (res >> 61)
+	}
+	if res == P {
+		res = 0
+	}
+	return res
+}
+
+// RangeProduct returns prod_{r=lo}^{hi} (z - r) mod P.
+func RangeProduct(z uint64, lo, hi int) uint64 {
+	acc := uint64(1)
+	for r := lo; r <= hi; r++ {
+		acc = Mul(acc, Sub(z%P, uint64(r)%P))
+	}
+	return acc
+}
+
+// MultisetProduct returns prod_{r in ranks} (z - r) mod P.
+func MultisetProduct(z uint64, ranks []int) uint64 {
+	acc := uint64(1)
+	for _, r := range ranks {
+		acc = Mul(acc, Sub(z%P, uint64(r)%P))
+	}
+	return acc
+}

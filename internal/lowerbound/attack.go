@@ -1,0 +1,199 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+// Labeler assigns certificates to the nodes of a path-of-blocks instance
+// (it models "the prover's accepting assignment" for a hypothetical
+// scheme whose certificate size is bounded).
+type Labeler func(inst *BlockInstance) (map[graph.ID]bits.Certificate, error)
+
+// blockSignature serialises the labeling of every ordinary block of a
+// path of blocks, ordered by block index — two instances with equal
+// signatures have identical labeled blocks, the collision the pigeonhole
+// argument of Lemma 5 relies on.
+func blockSignature(inst *BlockInstance, p int, certs map[graph.ID]bits.Certificate) string {
+	sig := make([]byte, 0, 64)
+	for r := 1; r <= p; r++ {
+		for o := 0; o < inst.K-1; o++ {
+			c := certs[blockID(inst.K, r, o)]
+			sig = append(sig, byte(c.Bits), byte(c.Bits>>8))
+			sig = append(sig, c.Data...)
+		}
+	}
+	return string(sig)
+}
+
+// SpliceResult describes a successful pigeonhole attack.
+type SpliceResult struct {
+	PermA, PermB []int          // the two colliding legal instances
+	CycleSeq     []int          // blocks of the accepted illegal cycle
+	Cycle        *BlockInstance // the illegal instance itself
+	Certs        map[graph.ID]bits.Certificate
+	Instances    int // how many instances were inspected
+}
+
+// FindSplice runs the Lemma 5 attack against the given labeler: it
+// samples path-of-blocks instances (permutations of the ordinary blocks)
+// until two of them receive identical labeled blocks, then splices an
+// illegal cycle of blocks whose every node sees a view it saw in one of
+// the two legal instances. Returns nil if no collision is found within
+// maxInstances samples.
+func FindSplice(k, p int, label Labeler, maxInstances int, rng *rand.Rand) (*SpliceResult, error) {
+	seen := make(map[string][]int, maxInstances)
+	count := 0
+	try := func(perm []int) (*SpliceResult, error) {
+		inst, err := PathOfBlocks(k, p, perm)
+		if err != nil {
+			return nil, err
+		}
+		certs, err := label(inst)
+		if err != nil {
+			return nil, err
+		}
+		count++
+		sig := blockSignature(inst, p, certs)
+		if prev, ok := seen[sig]; ok && !equalPerm(prev, perm) {
+			res, err := splice(k, p, prev, perm, certs)
+			if err != nil {
+				return nil, err
+			}
+			if res != nil {
+				res.Instances = count
+				return res, nil
+			}
+			// Could not orient the splice (no usable pair); keep sampling.
+			return nil, nil
+		}
+		if _, ok := seen[sig]; !ok {
+			seen[sig] = append([]int(nil), perm...)
+		}
+		return nil, nil
+	}
+	// Deterministic first probe: identity, then random samples.
+	identity := make([]int, p)
+	for i := range identity {
+		identity[i] = i + 1
+	}
+	if res, err := try(identity); res != nil || err != nil {
+		return res, err
+	}
+	for count < maxInstances {
+		perm := rng.Perm(p)
+		for i := range perm {
+			perm[i]++
+		}
+		if res, err := try(perm); res != nil || err != nil {
+			return res, err
+		}
+	}
+	return nil, nil
+}
+
+func equalPerm(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// splice builds the illegal cycle from two colliding instances: it finds
+// blocks X, Y such that X appears before Y in permA's order and Y is
+// immediately followed by X in permB's order, then closes the segment
+// X..Y of permA into a ring. Every node of the result sees exactly the
+// view it had in instance A (interior) or instance B (the closing seam).
+func splice(k, p int, permA, permB []int, certs map[graph.ID]bits.Certificate) (*SpliceResult, error) {
+	posA := make(map[int]int, p)
+	for s, r := range permA {
+		posA[r] = s
+	}
+	// Find consecutive pair (Y, X) in permB with X before Y in permA.
+	for s := 0; s+1 < p; s++ {
+		y, x := permB[s], permB[s+1]
+		if posA[x] < posA[y] {
+			seq := append([]int(nil), permA[posA[x]:posA[y]+1]...)
+			cyc, err := CycleOfBlocks(k, seq)
+			if err != nil {
+				return nil, err
+			}
+			sub := make(map[graph.ID]bits.Certificate, cyc.G.N())
+			for v := 0; v < cyc.G.N(); v++ {
+				sub[cyc.G.IDOf(v)] = certs[cyc.G.IDOf(v)]
+			}
+			return &SpliceResult{
+				PermA:    permA,
+				PermB:    permB,
+				CycleSeq: seq,
+				Cycle:    cyc,
+				Certs:    sub,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// TruncateLabeler wraps another labeler, truncating every certificate to
+// at most g bits — the "o(log n) bits" regime of Theorem 2.
+func TruncateLabeler(inner Labeler, g int) Labeler {
+	return func(inst *BlockInstance) (map[graph.ID]bits.Certificate, error) {
+		certs, err := inner(inst)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[graph.ID]bits.Certificate, len(certs))
+		for id, c := range certs {
+			r := c.Reader()
+			var w bits.Writer
+			for i := 0; i < g && i < c.Bits; i++ {
+				b, err := r.ReadBit()
+				if err != nil {
+					return nil, err
+				}
+				w.WriteBit(b)
+			}
+			out[id] = bits.FromWriter(&w)
+		}
+		return out, nil
+	}
+}
+
+// ZeroLabeler assigns empty certificates (the 0-bit regime).
+func ZeroLabeler(inst *BlockInstance) (map[graph.ID]bits.Certificate, error) {
+	out := make(map[graph.ID]bits.Certificate, inst.G.N())
+	for v := 0; v < inst.G.N(); v++ {
+		out[inst.G.IDOf(v)] = bits.Certificate{}
+	}
+	return out, nil
+}
+
+// PigeonholeThreshold returns the number of ordinary blocks p at which
+// the counting argument of Lemma 5 forces a collision for (k-1)·g-bit
+// block labelings: the smallest p with log2(p!) > (k-1)·g·p.
+func PigeonholeThreshold(k, g int) int {
+	for p := 2; ; p++ {
+		lf := 0.0
+		for i := 2; i <= p; i++ {
+			lf += math.Log2(float64(i))
+		}
+		if lf > float64((k-1)*g*p) {
+			return p
+		}
+		if p > 1<<30 {
+			return -1
+		}
+	}
+}
+
+// InstanceSize returns the number of nodes of a path of blocks with p
+// ordinary blocks.
+func InstanceSize(k, p int) int { return (k - 1) * (p + 2) }

@@ -1,0 +1,214 @@
+// Package lowerbound implements the explicit constructions behind
+// Theorem 2 of Feuilloley et al. (PODC 2020): the paths/cycles of blocks
+// of Lemma 5 (no o(log n)-bit locally checkable proof for Forb(K_k)), the
+// glued bipartite instances of Lemma 6 (Forb(K_{p,q})), and the executable
+// pigeonhole attack that splices an accepted illegal instance out of two
+// legal instances whose certificates collide.
+package lowerbound
+
+import (
+	"fmt"
+
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/minor"
+)
+
+// BlockInstance is a path or cycle of blocks (Lemma 5). Blocks are
+// K_{k-1} cliques on k-1 consecutive identifiers; consecutive blocks are
+// joined by a block connection: all edges between the ceil((k-1)/2)
+// rightmost nodes of the earlier block and the floor((k-1)/2) leftmost
+// nodes of the later block.
+type BlockInstance struct {
+	G *graph.Graph
+	K int
+	// Blocks lists, for each block in connection order, its index r (the
+	// IDs of block r are r(k-1) .. (r+1)(k-1)-1).
+	Blocks []int
+	// Cycle reports whether the last block connects back to the first.
+	Cycle bool
+
+	nodeOf map[int]map[int]int // block r -> offset -> node index
+}
+
+// NodeOf returns the graph index of the o-th node (0-based) of block r.
+func (b *BlockInstance) NodeOf(r, o int) int { return b.nodeOf[r][o] }
+
+// blockIDs returns the identifiers of block r for parameter k.
+func blockID(k, r, o int) graph.ID { return graph.ID(r*(k-1) + o) }
+
+// buildBlocks creates the blocks and connections for the given sequence.
+func buildBlocks(k int, seq []int, cycle bool) (*BlockInstance, error) {
+	if k < 4 {
+		return nil, fmt.Errorf("lowerbound: k must be >= 4, got %d", k)
+	}
+	inst := &BlockInstance{
+		G:      graph.New(len(seq) * (k - 1)),
+		K:      k,
+		Blocks: append([]int(nil), seq...),
+		Cycle:  cycle,
+		nodeOf: make(map[int]map[int]int, len(seq)),
+	}
+	for _, r := range seq {
+		if inst.nodeOf[r] != nil {
+			return nil, fmt.Errorf("lowerbound: block %d repeated", r)
+		}
+		inst.nodeOf[r] = make(map[int]int, k-1)
+		for o := 0; o < k-1; o++ {
+			idx, err := inst.G.AddNode(blockID(k, r, o))
+			if err != nil {
+				return nil, err
+			}
+			inst.nodeOf[r][o] = idx
+		}
+		// Complete the block into K_{k-1}.
+		for o1 := 0; o1 < k-1; o1++ {
+			for o2 := o1 + 1; o2 < k-1; o2++ {
+				inst.G.MustAddEdge(inst.nodeOf[r][o1], inst.nodeOf[r][o2])
+			}
+		}
+	}
+	for s := 0; s+1 < len(seq); s++ {
+		inst.connect(seq[s], seq[s+1])
+	}
+	if cycle {
+		inst.connect(seq[len(seq)-1], seq[0])
+	}
+	return inst, nil
+}
+
+// connect adds the block connection from block ri to block rj.
+func (b *BlockInstance) connect(ri, rj int) {
+	k := b.K
+	right := (k - 1 + 1) / 2 // ceil((k-1)/2)
+	left := (k - 1) / 2      // floor((k-1)/2)
+	for x := 0; x < right; x++ {
+		u := b.nodeOf[ri][k-2-x] // rightmost nodes of ri
+		for y := 0; y < left; y++ {
+			v := b.nodeOf[rj][y] // leftmost nodes of rj
+			b.G.MustAddEdge(u, v)
+		}
+	}
+}
+
+// PathOfBlocks builds the legal instance of Lemma 5: the starting block
+// B_0, the ordinary blocks B_1..B_p in the order given by perm (perm is a
+// permutation of {1..p}: position s holds block perm[s]), and the ending
+// block B_{p+1}.
+func PathOfBlocks(k, p int, perm []int) (*BlockInstance, error) {
+	if len(perm) != p {
+		return nil, fmt.Errorf("lowerbound: perm has %d entries, want %d", len(perm), p)
+	}
+	seen := make(map[int]bool, p)
+	seq := make([]int, 0, p+2)
+	seq = append(seq, 0)
+	for _, r := range perm {
+		if r < 1 || r > p || seen[r] {
+			return nil, fmt.Errorf("lowerbound: invalid permutation entry %d", r)
+		}
+		seen[r] = true
+		seq = append(seq, r)
+	}
+	seq = append(seq, p+1)
+	return buildBlocks(k, seq, false)
+}
+
+// CycleOfBlocks builds the illegal instance of Lemma 5 from the given
+// sequence of ordinary blocks (each in 1..p, distinct), connected in order
+// and closed into a ring.
+func CycleOfBlocks(k int, seq []int) (*BlockInstance, error) {
+	if len(seq) < 2 {
+		return nil, fmt.Errorf("lowerbound: a cycle of blocks needs >= 2 blocks")
+	}
+	return buildBlocks(k, seq, true)
+}
+
+// KkModel returns the explicit K_k minor model of a cycle of blocks
+// (Claim 8): the k-1 nodes of the first block as singleton branch sets,
+// plus the rest of the cycle contracted into one set.
+func (b *BlockInstance) KkModel() (*minor.Model, error) {
+	if !b.Cycle {
+		return nil, fmt.Errorf("lowerbound: K_k model only exists for cycles of blocks")
+	}
+	first := b.Blocks[0]
+	model := &minor.Model{}
+	for o := 0; o < b.K-1; o++ {
+		model.BranchSets = append(model.BranchSets, []int{b.nodeOf[first][o]})
+	}
+	var rest []int
+	for _, r := range b.Blocks[1:] {
+		for o := 0; o < b.K-1; o++ {
+			rest = append(rest, b.nodeOf[r][o])
+		}
+	}
+	model.BranchSets = append(model.BranchSets, rest)
+	return model, nil
+}
+
+// VerifyIllegal checks that a cycle of blocks really contains K_k as a
+// minor, using the explicit model.
+func (b *BlockInstance) VerifyIllegal() error {
+	model, err := b.KkModel()
+	if err != nil {
+		return err
+	}
+	return model.VerifyComplete(b.G, b.K)
+}
+
+// Stretch returns the radius-t variant of the instance used by the
+// paper's remark that the lower bounds survive any constant verification
+// radius: every edge is replaced by a path of length t (t-1 fresh
+// interior vertices). For cycles of blocks it also returns the K_k minor
+// model extended over the interior vertices (each interior path joins the
+// branch set of its first endpoint), so illegality stays verifiable.
+func (b *BlockInstance) Stretch(t int) (*graph.Graph, *minor.Model, error) {
+	if t < 1 {
+		return nil, nil, fmt.Errorf("lowerbound: stretch factor %d", t)
+	}
+	g := graph.New(b.G.N())
+	maxID := graph.ID(-1 << 62)
+	for v := 0; v < b.G.N(); v++ {
+		id := b.G.IDOf(v)
+		g.MustAddNode(id)
+		if id > maxID {
+			maxID = id
+		}
+	}
+	nextID := maxID + 1
+
+	// Branch-set assignment of the original vertices (cycles only).
+	assign := make([]int, b.G.N())
+	for i := range assign {
+		assign[i] = -1
+	}
+	var model *minor.Model
+	if b.Cycle {
+		m, err := b.KkModel()
+		if err != nil {
+			return nil, nil, err
+		}
+		model = &minor.Model{BranchSets: make([][]int, len(m.BranchSets))}
+		for si, set := range m.BranchSets {
+			for _, v := range set {
+				assign[v] = si
+			}
+			model.BranchSets[si] = append([]int(nil), set...)
+		}
+	}
+	for _, e := range b.G.Edges() {
+		prev := e.U
+		for i := 1; i < t; i++ {
+			w := g.MustAddNode(nextID)
+			nextID++
+			g.MustAddEdge(prev, w)
+			if model != nil {
+				// Interior vertices extend the first endpoint's branch set,
+				// keeping it connected and adjacent to the second's.
+				si := assign[e.U]
+				model.BranchSets[si] = append(model.BranchSets[si], w)
+			}
+			prev = w
+		}
+		g.MustAddEdge(prev, e.V)
+	}
+	return g, model, nil
+}

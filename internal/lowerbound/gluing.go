@@ -1,0 +1,214 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/minor"
+)
+
+// LegalInstance is I_{a,b} of Lemma 6 (Figure 9): two paths, one carrying
+// the identifiers of a, one those of b (in increasing order), joined by q
+// rungs at positions j*d for j = 1..q. It is outerplanar, hence
+// K_{p,q}-minor-free for every p >= 2, q >= 3.
+type LegalInstance struct {
+	G    *graph.Graph
+	A, B []graph.ID // sorted identifier sets
+	Q, D int
+}
+
+// NewLegalInstance builds I_{a,b} from two disjoint, sorted identifier
+// sets; d is the rung spacing (paper: d = floor(n/2q)).
+func NewLegalInstance(a, b []graph.ID, q, d int) (*LegalInstance, error) {
+	if q*d > len(a) || q*d > len(b) {
+		return nil, fmt.Errorf("lowerbound: q*d = %d exceeds path lengths (%d, %d)", q*d, len(a), len(b))
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("lowerbound: rung spacing d = %d", d)
+	}
+	inst := &LegalInstance{
+		G: graph.New(len(a) + len(b)),
+		A: append([]graph.ID(nil), a...),
+		B: append([]graph.ID(nil), b...),
+		Q: q, D: d,
+	}
+	aIdx := make([]int, len(a))
+	bIdx := make([]int, len(b))
+	for i, id := range a {
+		idx, err := inst.G.AddNode(id)
+		if err != nil {
+			return nil, err
+		}
+		aIdx[i] = idx
+	}
+	for i, id := range b {
+		idx, err := inst.G.AddNode(id)
+		if err != nil {
+			return nil, err
+		}
+		bIdx[i] = idx
+	}
+	for i := 0; i+1 < len(a); i++ {
+		inst.G.MustAddEdge(aIdx[i], aIdx[i+1])
+	}
+	for i := 0; i+1 < len(b); i++ {
+		inst.G.MustAddEdge(bIdx[i], bIdx[i+1])
+	}
+	for j := 1; j <= q; j++ {
+		inst.G.MustAddEdge(aIdx[j*d-1], bIdx[j*d-1]) // paper's a[jd] is 1-based
+	}
+	return inst, nil
+}
+
+// GluedInstance is J of Lemma 6 (Figure 10): q copies of the a-paths and
+// q copies of the b-paths, with rung j of path P_i attached to path
+// Q_{i+j mod q}. It contains K_{q,q} (hence K_{p,q}) as a minor.
+type GluedInstance struct {
+	G    *graph.Graph
+	AIDs [][]graph.ID // AIDs[i] = identifiers of path P_i (sorted)
+	BIDs [][]graph.ID
+	Q, D int
+
+	aIdx, bIdx [][]int
+}
+
+// NewGluedInstance glues the q^2 legal instances: as[i] and bs[i] are the
+// identifier sets of P_i and Q_i.
+func NewGluedInstance(as, bs [][]graph.ID, q, d int) (*GluedInstance, error) {
+	if len(as) != q || len(bs) != q {
+		return nil, fmt.Errorf("lowerbound: need %d identifier sets per side", q)
+	}
+	inst := &GluedInstance{
+		AIDs: as, BIDs: bs, Q: q, D: d,
+		G:    graph.New(0),
+		aIdx: make([][]int, q),
+		bIdx: make([][]int, q),
+	}
+	addPath := func(ids []graph.ID) ([]int, error) {
+		if q*d > len(ids) {
+			return nil, fmt.Errorf("lowerbound: path of %d nodes too short for q*d = %d", len(ids), q*d)
+		}
+		idxs := make([]int, len(ids))
+		for i, id := range ids {
+			idx, err := inst.G.AddNode(id)
+			if err != nil {
+				return nil, err
+			}
+			idxs[i] = idx
+		}
+		for i := 0; i+1 < len(ids); i++ {
+			inst.G.MustAddEdge(idxs[i], idxs[i+1])
+		}
+		return idxs, nil
+	}
+	var err error
+	for i := 0; i < q; i++ {
+		if inst.aIdx[i], err = addPath(as[i]); err != nil {
+			return nil, err
+		}
+		if inst.bIdx[i], err = addPath(bs[i]); err != nil {
+			return nil, err
+		}
+	}
+	// Rungs: a_i[jd] -- b_{i+j}[jd] (1-based modular arithmetic).
+	for i := 1; i <= q; i++ {
+		for j := 1; j <= q; j++ {
+			bi := (i+j-1)%q + 1
+			inst.G.MustAddEdge(inst.aIdx[i-1][j*d-1], inst.bIdx[bi-1][j*d-1])
+		}
+	}
+	return inst, nil
+}
+
+// KqqModel returns the explicit K_{q,q} minor model of J: each path
+// contracts to one branch vertex.
+func (g *GluedInstance) KqqModel() *minor.Model {
+	model := &minor.Model{}
+	for i := 0; i < g.Q; i++ {
+		model.BranchSets = append(model.BranchSets, append([]int(nil), g.aIdx[i]...))
+	}
+	for i := 0; i < g.Q; i++ {
+		model.BranchSets = append(model.BranchSets, append([]int(nil), g.bIdx[i]...))
+	}
+	return model
+}
+
+// VerifyIllegal checks that J contains K_{q,q} as a minor via the
+// explicit model.
+func (g *GluedInstance) VerifyIllegal() error {
+	return g.KqqModel().VerifyBipartite(g.G, g.Q, g.Q)
+}
+
+// LocalViewsMatchLegal verifies the indistinguishability step of Lemma 6:
+// every node of J has exactly the closed neighborhood (as an identifier
+// set) that it has in one of the legal instances I_{a_i, b_j}. It returns
+// an error naming the first node whose view is alien to every legal
+// instance.
+func (g *GluedInstance) LocalViewsMatchLegal() error {
+	legal := make(map[[2]int]*LegalInstance, g.Q*g.Q)
+	for i := 0; i < g.Q; i++ {
+		for j := 0; j < g.Q; j++ {
+			inst, err := NewLegalInstance(g.AIDs[i], g.BIDs[j], g.Q, g.D)
+			if err != nil {
+				return err
+			}
+			legal[[2]int{i, j}] = inst
+		}
+	}
+	neighborIDs := func(gr *graph.Graph, idx int) map[graph.ID]bool {
+		out := make(map[graph.ID]bool)
+		for _, w := range gr.Neighbors(idx) {
+			out[gr.IDOf(w)] = true
+		}
+		return out
+	}
+	for v := 0; v < g.G.N(); v++ {
+		id := g.G.IDOf(v)
+		viewJ := neighborIDs(g.G, v)
+		matched := false
+		for _, inst := range legal {
+			if idx, ok := inst.G.IndexOf(id); ok {
+				viewI := neighborIDs(inst.G, idx)
+				if len(viewI) == len(viewJ) {
+					same := true
+					for nid := range viewJ {
+						if !viewI[nid] {
+							same = false
+							break
+						}
+					}
+					if same {
+						matched = true
+						break
+					}
+				}
+			}
+		}
+		if !matched {
+			return fmt.Errorf("lowerbound: node %d of J has a view alien to every legal instance", id)
+		}
+	}
+	return nil
+}
+
+// SplitIDs deterministically partitions the identifier range [0, 2*q*n)
+// into 2q sorted sets of n identifiers each (q a-sets then q b-sets),
+// mimicking the paper's partition of {1..n^2}.
+func SplitIDs(q, n int) (as, bs [][]graph.ID) {
+	next := graph.ID(0)
+	take := func() []graph.ID {
+		out := make([]graph.ID, n)
+		for i := range out {
+			out[i] = next
+			next++
+		}
+		return out
+	}
+	for i := 0; i < q; i++ {
+		as = append(as, take())
+	}
+	for i := 0; i < q; i++ {
+		bs = append(bs, take())
+	}
+	return as, bs
+}

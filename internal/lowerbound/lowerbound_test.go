@@ -1,0 +1,311 @@
+package lowerbound_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/lowerbound"
+	"github.com/planarcert/planarcert/internal/minor"
+	"github.com/planarcert/planarcert/internal/planarity"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+func identityPerm(p int) []int {
+	perm := make([]int, p)
+	for i := range perm {
+		perm[i] = i + 1
+	}
+	return perm
+}
+
+func TestPathOfBlocksShape(t *testing.T) {
+	k, p := 4, 3
+	inst, err := lowerbound.PathOfBlocks(k, p, identityPerm(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.G.N() != lowerbound.InstanceSize(k, p) {
+		t.Fatalf("n = %d, want %d", inst.G.N(), lowerbound.InstanceSize(k, p))
+	}
+	if !inst.G.Connected() {
+		t.Fatal("path of blocks disconnected")
+	}
+	// Each block is a K_{k-1}: check block 1.
+	for o1 := 0; o1 < k-1; o1++ {
+		for o2 := o1 + 1; o2 < k-1; o2++ {
+			if !inst.G.HasEdge(inst.NodeOf(1, o1), inst.NodeOf(1, o2)) {
+				t.Fatal("block not complete")
+			}
+		}
+	}
+	// Block connection from B_0 to B_1 (k=4): 2 rightmost x 1 leftmost.
+	if !inst.G.HasEdge(inst.NodeOf(0, 2), inst.NodeOf(1, 0)) ||
+		!inst.G.HasEdge(inst.NodeOf(0, 1), inst.NodeOf(1, 0)) {
+		t.Fatal("block connection edges missing")
+	}
+	if inst.G.HasEdge(inst.NodeOf(0, 0), inst.NodeOf(1, 0)) {
+		t.Fatal("spurious connection edge")
+	}
+}
+
+func TestPathOfBlocksIsLegal(t *testing.T) {
+	// Claim 7: paths of blocks are K_k-minor-free (checked with the
+	// independent exhaustive searcher for k = 4).
+	inst, err := lowerbound.PathOfBlocks(4, 3, identityPerm(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := minor.FindComplete(inst.G, 4, 40_000_000)
+	if err != nil {
+		t.Skipf("search budget exhausted: %v", err)
+	}
+	if m != nil {
+		t.Fatal("path of blocks contains K4 minor")
+	}
+}
+
+func TestCycleOfBlocksIsIllegal(t *testing.T) {
+	for _, k := range []int{4, 5, 6} {
+		inst, err := lowerbound.CycleOfBlocks(k, []int{2, 3, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.VerifyIllegal(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestKkModelOnlyForCycles(t *testing.T) {
+	inst, err := lowerbound.PathOfBlocks(4, 2, identityPerm(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.KkModel(); err == nil {
+		t.Fatal("path of blocks produced a K_k model")
+	}
+}
+
+func TestFindSpliceZeroBits(t *testing.T) {
+	// With empty certificates every pair of instances collides: the attack
+	// must succeed immediately and produce a verified illegal instance.
+	rng := rand.New(rand.NewSource(1))
+	res, err := lowerbound.FindSplice(4, 4, lowerbound.ZeroLabeler, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("zero-bit attack failed")
+	}
+	if err := res.Cycle.VerifyIllegal(); err != nil {
+		t.Fatalf("spliced cycle not illegal: %v", err)
+	}
+	if len(res.CycleSeq) < 2 {
+		t.Fatalf("degenerate splice %v", res.CycleSeq)
+	}
+}
+
+// treeLabeler runs the real spanning-tree PLS prover on the instance —
+// a stand-in for "some correct scheme's accepting certificates".
+func treeLabeler(inst *lowerbound.BlockInstance) (map[graph.ID]bits.Certificate, error) {
+	return pls.SpanningTreeScheme{}.Prove(inst.G)
+}
+
+func TestFindSpliceTruncatedRealCerts(t *testing.T) {
+	// Truncating real certificates to very few bits creates collisions;
+	// the spliced instance is still illegal.
+	rng := rand.New(rand.NewSource(2))
+	res, err := lowerbound.FindSplice(4, 5, lowerbound.TruncateLabeler(treeLabeler, 1), 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Skip("no collision within budget (randomness-dependent)")
+	}
+	if err := res.Cycle.VerifyIllegal(); err != nil {
+		t.Fatalf("spliced cycle not illegal: %v", err)
+	}
+}
+
+func TestFullCertsResistSampling(t *testing.T) {
+	// With full Θ(log n) certificates the labelings are collision-free in
+	// any feasible sample (they encode the permutation itself).
+	rng := rand.New(rand.NewSource(3))
+	res, err := lowerbound.FindSplice(4, 5, treeLabeler, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatal("full-size certificates collided — labeler is broken")
+	}
+}
+
+func TestPigeonholeThreshold(t *testing.T) {
+	// g = 0: any p >= 2 has p! > 1.
+	if got := lowerbound.PigeonholeThreshold(4, 0); got != 2 {
+		t.Fatalf("threshold(4,0) = %d, want 2", got)
+	}
+	// Thresholds grow with g and are monotone.
+	prev := 0
+	for g := 0; g <= 3; g++ {
+		th := lowerbound.PigeonholeThreshold(4, g)
+		if th <= prev {
+			t.Fatalf("threshold not increasing: g=%d -> %d (prev %d)", g, th, prev)
+		}
+		prev = th
+	}
+}
+
+func TestLegalInstanceShape(t *testing.T) {
+	as, bs := lowerbound.SplitIDs(3, 11)
+	inst, err := lowerbound.NewLegalInstance(as[0], bs[0], 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.G.N() != 22 {
+		t.Fatalf("n = %d, want 22", inst.G.N())
+	}
+	if !inst.G.Connected() {
+		t.Fatal("legal instance disconnected")
+	}
+	// Legal instances are outerplanar (paper: hence K_{p,q}-minor-free).
+	if !planarity.Outerplanar(inst.G) {
+		t.Fatal("legal instance not outerplanar")
+	}
+}
+
+func TestLegalInstanceValidation(t *testing.T) {
+	as, bs := lowerbound.SplitIDs(2, 4)
+	if _, err := lowerbound.NewLegalInstance(as[0], bs[0], 3, 3); err == nil {
+		t.Fatal("q*d beyond path length accepted")
+	}
+	if _, err := lowerbound.NewLegalInstance(as[0], bs[0], 2, 0); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+}
+
+func TestGluedInstanceIllegal(t *testing.T) {
+	for _, q := range []int{2, 3, 4} {
+		n := 6 * q
+		d := n / (2 * q)
+		as, bs := lowerbound.SplitIDs(q, n)
+		j, err := lowerbound.NewGluedInstance(as, bs, q, d)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if err := j.VerifyIllegal(); err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+	}
+}
+
+func TestGluedInstanceIndistinguishable(t *testing.T) {
+	// The heart of Lemma 6: every node of J sees a neighborhood it also
+	// sees in one of the q^2 legal instances.
+	for _, q := range []int{2, 3} {
+		n := 6 * q
+		d := n / (2 * q)
+		as, bs := lowerbound.SplitIDs(q, n)
+		j, err := lowerbound.NewGluedInstance(as, bs, q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.LocalViewsMatchLegal(); err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+	}
+}
+
+func TestGluedInstanceNonPlanarForQ3(t *testing.T) {
+	// K_{3,3} minor means J (q=3) is not even planar.
+	as, bs := lowerbound.SplitIDs(3, 18)
+	j, err := lowerbound.NewGluedInstance(as, bs, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planarity.IsPlanar(j.G) {
+		t.Fatal("glued q=3 instance is planar?!")
+	}
+}
+
+func TestBlockInstanceErrors(t *testing.T) {
+	if _, err := lowerbound.PathOfBlocks(3, 2, identityPerm(2)); err == nil {
+		t.Fatal("k=3 accepted")
+	}
+	if _, err := lowerbound.PathOfBlocks(4, 2, []int{1}); err == nil {
+		t.Fatal("short perm accepted")
+	}
+	if _, err := lowerbound.PathOfBlocks(4, 2, []int{1, 1}); err == nil {
+		t.Fatal("repeated block accepted")
+	}
+	if _, err := lowerbound.CycleOfBlocks(4, []int{1}); err == nil {
+		t.Fatal("single-block cycle accepted")
+	}
+}
+
+func TestStretchPreservesLegality(t *testing.T) {
+	// Radius-t remark: subdividing edges cannot create a K4 minor.
+	if testing.Short() {
+		t.Skip("exhaustive absence proof")
+	}
+	inst, err := lowerbound.PathOfBlocks(4, 2, identityPerm(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, model, err := inst.Stretch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model != nil {
+		t.Fatal("path instance returned a minor model")
+	}
+	if g.N() != inst.G.N()+inst.G.M() {
+		t.Fatalf("stretched n = %d", g.N())
+	}
+	m, err := minor.FindComplete(g, 4, 40_000_000)
+	if err != nil {
+		t.Skipf("budget: %v", err)
+	}
+	if m != nil {
+		t.Fatal("stretched path of blocks gained a K4 minor")
+	}
+}
+
+func TestStretchPreservesIllegality(t *testing.T) {
+	for _, tf := range []int{2, 3} {
+		cyc, err := lowerbound.CycleOfBlocks(4, []int{1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, model, err := cyc.Stretch(tf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if model == nil {
+			t.Fatal("cycle stretch lost its minor model")
+		}
+		if err := model.VerifyComplete(g, 4); err != nil {
+			t.Fatalf("t=%d: %v", tf, err)
+		}
+	}
+}
+
+func TestStretchRejectsBadFactor(t *testing.T) {
+	cyc, err := lowerbound.CycleOfBlocks(4, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cyc.Stretch(0); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+	// t=1 must be the identity.
+	g, _, err := cyc.Stretch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != cyc.G.N() || g.M() != cyc.G.M() {
+		t.Fatal("t=1 changed the instance")
+	}
+}

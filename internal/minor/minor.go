@@ -1,0 +1,320 @@
+// Package minor provides explicit graph-minor machinery for the lower-bound
+// constructions of Feuilloley et al. (PODC 2020, Section 4): verification of
+// known minor models (used to certify that "cycles of blocks" contain K_k
+// and that the glued instance J contains K_{q,q}), and a bounded
+// branch-set search usable as an independent oracle on small graphs.
+package minor
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+// Model is a minor model of a pattern H inside a host graph G: BranchSets
+// maps every H-vertex to a set of G-vertices.
+type Model struct {
+	BranchSets [][]int
+}
+
+// VerifyComplete checks that m is a valid model of the complete graph K_k
+// in g: k non-empty, pairwise-disjoint, connected branch sets with an edge
+// of g between every pair.
+func (m *Model) VerifyComplete(g *graph.Graph, k int) error {
+	if len(m.BranchSets) != k {
+		return fmt.Errorf("minor: model has %d branch sets, want %d", len(m.BranchSets), k)
+	}
+	if err := m.verifyBasics(g); err != nil {
+		return err
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if !m.touching(g, i, j) {
+				return fmt.Errorf("minor: branch sets %d and %d not adjacent", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyBipartite checks that m is a valid model of K_{p,q} in g: the first
+// p branch sets form one side, the next q the other, with edges across all
+// cross pairs.
+func (m *Model) VerifyBipartite(g *graph.Graph, p, q int) error {
+	if len(m.BranchSets) != p+q {
+		return fmt.Errorf("minor: model has %d branch sets, want %d", len(m.BranchSets), p+q)
+	}
+	if err := m.verifyBasics(g); err != nil {
+		return err
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < q; j++ {
+			if !m.touching(g, i, p+j) {
+				return fmt.Errorf("minor: branch sets %d and %d not adjacent", i, p+j)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Model) verifyBasics(g *graph.Graph) error {
+	owner := make(map[int]int)
+	for i, set := range m.BranchSets {
+		if len(set) == 0 {
+			return fmt.Errorf("minor: branch set %d is empty", i)
+		}
+		for _, v := range set {
+			if v < 0 || v >= g.N() {
+				return fmt.Errorf("minor: branch set %d contains invalid vertex %d", i, v)
+			}
+			if prev, taken := owner[v]; taken {
+				return fmt.Errorf("minor: vertex %d in branch sets %d and %d", v, prev, i)
+			}
+			owner[v] = i
+		}
+		if !connectedSubset(g, set) {
+			return fmt.Errorf("minor: branch set %d is not connected", i)
+		}
+	}
+	return nil
+}
+
+func (m *Model) touching(g *graph.Graph, a, b int) bool {
+	inB := make(map[int]bool, len(m.BranchSets[b]))
+	for _, v := range m.BranchSets[b] {
+		inB[v] = true
+	}
+	for _, u := range m.BranchSets[a] {
+		for _, w := range g.Neighbors(u) {
+			if inB[w] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func connectedSubset(g *graph.Graph, set []int) bool {
+	if len(set) == 0 {
+		return false
+	}
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	seen := map[int]bool{set[0]: true}
+	stack := []int{set[0]}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Neighbors(u) {
+			if in[v] && !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return len(seen) == len(set)
+}
+
+// ErrBudget is returned when the branch-set search exhausts its node
+// budget without a definitive answer.
+var ErrBudget = errors.New("minor: search budget exhausted")
+
+// FindComplete searches for a K_k minor model in g using backtracking over
+// branch-set growth, with a bounded number of search nodes. It returns the
+// model if found, nil if provably absent, and ErrBudget if undecided.
+func FindComplete(g *graph.Graph, k int, budget int) (*Model, error) {
+	s := &searcher{
+		g:      g,
+		budget: budget,
+		assign: make([]int, g.N()),
+		sets:   make([][]int, k),
+		kind:   kindComplete,
+		failed: make(map[string]bool),
+	}
+	for i := range s.assign {
+		s.assign[i] = -1
+	}
+	found, err := s.solve(0)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	return &Model{BranchSets: s.sets}, nil
+}
+
+// FindBipartite searches for a K_{p,q} minor model, analogous to
+// FindComplete. The first p branch sets are the left side.
+func FindBipartite(g *graph.Graph, p, q int, budget int) (*Model, error) {
+	s := &searcher{
+		g:      g,
+		budget: budget,
+		assign: make([]int, g.N()),
+		sets:   make([][]int, p+q),
+		kind:   kindBipartite,
+		p:      p,
+		failed: make(map[string]bool),
+	}
+	for i := range s.assign {
+		s.assign[i] = -1
+	}
+	found, err := s.solve(0)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	return &Model{BranchSets: s.sets}, nil
+}
+
+type patternKind int
+
+const (
+	kindComplete patternKind = iota
+	kindBipartite
+)
+
+type searcher struct {
+	g      *graph.Graph
+	budget int
+	assign []int // vertex -> branch index or -1
+	sets   [][]int
+	kind   patternKind
+	p      int             // left-part size for bipartite patterns
+	failed map[string]bool // assignment states whose subtree is exhausted
+}
+
+// stateKey serialises the current assignment; different grow orders that
+// reach the same assignment share one key, which is what makes absence
+// proofs tractable.
+func (s *searcher) stateKey() string {
+	buf := make([]byte, len(s.assign))
+	for i, a := range s.assign {
+		buf[i] = byte(a + 1)
+	}
+	return string(buf)
+}
+
+// requires reports whether branches a and b must be adjacent in the
+// pattern.
+func (s *searcher) requires(a, b int) bool {
+	if s.kind == kindComplete {
+		return true
+	}
+	return (a < s.p) != (b < s.p)
+}
+
+func (s *searcher) adjacent(a, b int) bool {
+	for _, u := range s.sets[a] {
+		for _, v := range s.g.Neighbors(u) {
+			if s.assign[v] == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// firstGap returns the first unmet requirement: an empty branch set
+// (-1, idx) or a missing adjacency (a, b). Returns (-2, -2) if satisfied.
+func (s *searcher) firstGap() (int, int) {
+	for i, set := range s.sets {
+		if len(set) == 0 {
+			return -1, i
+		}
+	}
+	for a := range s.sets {
+		for b := a + 1; b < len(s.sets); b++ {
+			if s.requires(a, b) && !s.adjacent(a, b) {
+				return a, b
+			}
+		}
+	}
+	return -2, -2
+}
+
+func (s *searcher) solve(depth int) (bool, error) {
+	if s.budget <= 0 {
+		return false, ErrBudget
+	}
+	s.budget--
+	a, b := s.firstGap()
+	if a == -2 {
+		return true, nil
+	}
+	key := s.stateKey()
+	if s.failed[key] {
+		return false, nil
+	}
+	if a == -1 {
+		// Seed the empty branch set b with any unassigned vertex. For fully
+		// symmetric patterns, restrict to vertices larger than the previous
+		// seed to break symmetry.
+		lo := 0
+		if s.symmetricWithPrevious(b) && len(s.sets) > 1 && b > 0 && len(s.sets[b-1]) > 0 {
+			lo = s.sets[b-1][0] + 1
+		}
+		for v := lo; v < s.g.N(); v++ {
+			if s.assign[v] != -1 {
+				continue
+			}
+			s.place(v, b)
+			ok, err := s.solve(depth + 1)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+			s.unplace(v, b)
+		}
+		s.failed[key] = true
+		return false, nil
+	}
+	// Requirement (a,b) unmet: grow either side by an adjacent unassigned
+	// vertex.
+	for _, side := range [2]int{a, b} {
+		for _, u := range s.sets[side] {
+			for _, v := range s.g.Neighbors(u) {
+				if s.assign[v] != -1 {
+					continue
+				}
+				s.place(v, side)
+				ok, err := s.solve(depth + 1)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					return true, nil
+				}
+				s.unplace(v, side)
+			}
+		}
+	}
+	s.failed[key] = true
+	return false, nil
+}
+
+// symmetricWithPrevious reports whether branch b plays the same role as
+// branch b-1 in the pattern (so seeds can be ordered).
+func (s *searcher) symmetricWithPrevious(b int) bool {
+	if s.kind == kindComplete {
+		return b > 0
+	}
+	return b > 0 && (b < s.p) == ((b-1) < s.p)
+}
+
+func (s *searcher) place(v, b int) {
+	s.assign[v] = b
+	s.sets[b] = append(s.sets[b], v)
+}
+
+func (s *searcher) unplace(v, b int) {
+	s.assign[v] = -1
+	s.sets[b] = s.sets[b][:len(s.sets[b])-1]
+}

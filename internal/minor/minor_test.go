@@ -1,0 +1,211 @@
+package minor_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/gen"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/minor"
+	"github.com/planarcert/planarcert/internal/planarity"
+)
+
+const budget = 2_000_000
+
+func TestVerifyCompleteValidModel(t *testing.T) {
+	// Contract a 6-cycle into three branch sets of two adjacent vertices:
+	// yields a triangle = K3.
+	g := gen.Cycle(6)
+	m := &minor.Model{BranchSets: [][]int{{0, 1}, {2, 3}, {4, 5}}}
+	if err := m.VerifyComplete(g, 3); err != nil {
+		t.Fatalf("VerifyComplete: %v", err)
+	}
+}
+
+func TestVerifyCompleteRejectsBadModels(t *testing.T) {
+	g := gen.Cycle(6)
+	tests := []struct {
+		name string
+		m    *minor.Model
+	}{
+		{"wrong count", &minor.Model{BranchSets: [][]int{{0}, {1}}}},
+		{"empty set", &minor.Model{BranchSets: [][]int{{0, 1}, {2, 3}, {}}}},
+		{"overlap", &minor.Model{BranchSets: [][]int{{0, 1}, {1, 2}, {4, 5}}}},
+		{"disconnected set", &minor.Model{BranchSets: [][]int{{0, 3}, {1, 2}, {4, 5}}}},
+		{"missing adjacency", &minor.Model{BranchSets: [][]int{{0}, {1}, {3}}}},
+		{"invalid vertex", &minor.Model{BranchSets: [][]int{{0, 99}, {2, 3}, {4, 5}}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.m.VerifyComplete(g, 3); err == nil {
+				t.Fatal("invalid model verified")
+			}
+		})
+	}
+}
+
+func TestVerifyBipartite(t *testing.T) {
+	g := gen.CompleteBipartite(2, 3)
+	m := &minor.Model{BranchSets: [][]int{{0}, {1}, {2}, {3}, {4}}}
+	if err := m.VerifyBipartite(g, 2, 3); err != nil {
+		t.Fatalf("VerifyBipartite on K2,3 itself: %v", err)
+	}
+	// Same-side sets have no adjacency requirement, cross pairs do.
+	bad := &minor.Model{BranchSets: [][]int{{0}, {2}, {1}, {3}, {4}}}
+	if err := bad.VerifyBipartite(g, 2, 3); err == nil {
+		t.Fatal("model with a part vertex on the wrong side verified")
+	}
+}
+
+func TestFindCompleteInCliques(t *testing.T) {
+	for k := 3; k <= 5; k++ {
+		g := gen.Complete(k)
+		m, err := minor.FindComplete(g, k, budget)
+		if err != nil {
+			t.Fatalf("FindComplete(K%d): %v", k, err)
+		}
+		if m == nil {
+			t.Fatalf("K%d minor not found in K%d", k, k)
+		}
+		if err := m.VerifyComplete(g, k); err != nil {
+			t.Fatalf("returned model invalid: %v", err)
+		}
+	}
+}
+
+func TestFindCompleteAbsent(t *testing.T) {
+	// Trees have no K3 minor.
+	rng := rand.New(rand.NewSource(1))
+	g := gen.RandomTree(12, rng)
+	m, err := minor.FindComplete(g, 3, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Fatal("found K3 minor in a tree")
+	}
+	// Outerplanar graphs have no K4 minor.
+	o := gen.RandomOuterplanar(10, 1.0, rng)
+	m, err = minor.FindComplete(o, 4, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Fatal("found K4 minor in an outerplanar graph")
+	}
+	// Planar graphs have no K5 minor.
+	p, err := gen.RandomPlanar(12, 24, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = minor.FindComplete(p, 5, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Fatal("found K5 minor in a planar graph")
+	}
+}
+
+func TestFindCompleteInGrid(t *testing.T) {
+	// A 3x3 grid contains K4 as a minor but not K5 (planar).
+	g := gen.Grid(3, 3)
+	m, err := minor.FindComplete(g, 4, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("no K4 minor found in 3x3 grid")
+	}
+	if err := m.VerifyComplete(g, 4); err != nil {
+		t.Fatalf("model invalid: %v", err)
+	}
+}
+
+func TestFindBipartiteInGrid(t *testing.T) {
+	// Grids contain K2,3 minors (e.g. two adjacent faces).
+	g := gen.Grid(3, 4)
+	m, err := minor.FindBipartite(g, 2, 3, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("no K2,3 minor found in 3x4 grid")
+	}
+	if err := m.VerifyBipartite(g, 2, 3); err != nil {
+		t.Fatalf("model invalid: %v", err)
+	}
+}
+
+func TestFindBipartiteAbsentInPath(t *testing.T) {
+	g := gen.Path(10)
+	m, err := minor.FindBipartite(g, 2, 2, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Fatal("found K2,2 minor in a path")
+	}
+}
+
+func TestFindCompleteSubdivisionHasMinor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.KuratowskiSubdivision(true, 3, rng)
+	m, err := minor.FindComplete(g, 5, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("no K5 minor in a K5 subdivision")
+	}
+	if err := m.VerifyComplete(g, 5); err != nil {
+		t.Fatalf("model invalid: %v", err)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	g := gen.Complete(6)
+	if _, err := minor.FindComplete(g, 6, 3); err == nil {
+		t.Fatal("tiny budget did not trip ErrBudget")
+	}
+}
+
+func TestMinorMonotoneUnderPlanarity(t *testing.T) {
+	// Cross-validation: small random graphs have a K5 or K3,3 minor iff
+	// they are non-planar (Wagner's theorem).
+	rng := rand.New(rand.NewSource(3))
+	checked := 0
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(5)
+		m := rng.Intn(n*(n-1)/2 + 1)
+		g, err := gen.GNM(n, m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k5, err := minor.FindComplete(g, 5, budget)
+		if err != nil {
+			continue // budget; skip
+		}
+		k33, err := minor.FindBipartite(g, 3, 3, budget)
+		if err != nil {
+			continue
+		}
+		hasObstruction := k5 != nil || k33 != nil
+		if hasObstruction == planarIsh(g) {
+			t.Fatalf("trial %d: obstruction=%v but planar=%v (n=%d m=%d)",
+				trial, hasObstruction, planarIsh(g), n, m)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+// planarIsh is the LR planarity test. The cross-check direction is
+// deliberate: the minor search (independent, exhaustive) validates the LR
+// implementation through Wagner's theorem, and vice versa — a disagreement
+// flags a bug in one of the two.
+func planarIsh(g *graph.Graph) bool {
+	return planarity.IsPlanar(g)
+}

@@ -1,0 +1,322 @@
+package planarity
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+// Kind labels the two Kuratowski obstructions.
+type Kind int
+
+const (
+	// KindK5 marks a subdivision of the complete graph K5.
+	KindK5 Kind = iota + 1
+	// KindK33 marks a subdivision of the complete bipartite graph K3,3.
+	KindK33
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindK5:
+		return "K5"
+	case KindK33:
+		return "K3,3"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrPlanarInput is returned by Kuratowski when the input has no
+// obstruction to extract.
+var ErrPlanarInput = errors.New("planarity: graph is planar, no Kuratowski subgraph")
+
+// Witness is a Kuratowski subgraph: a subdivision of K5 or K3,3 found
+// inside a non-planar graph, given by its edges (indices into the original
+// graph), its branch vertices, and the subdivision paths connecting them.
+type Witness struct {
+	Kind     Kind
+	Edges    []graph.Edge
+	Branch   []int   // 5 branch vertices for K5; 6 (3+3) for K3,3
+	Paths    [][]int // one vertex path per branch edge, endpoints included
+	Vertices []int   // all vertices participating in the subdivision
+}
+
+// Kuratowski extracts a Kuratowski witness from a non-planar graph by
+// edge minimalization: edges are deleted one at a time while the graph
+// stays non-planar; the edge-minimal non-planar subgraph that remains is
+// exactly a subdivision of K5 or K3,3 (Kuratowski's theorem). The cost is
+// O(m) planarity tests, i.e. O(m^2) time.
+func Kuratowski(g *graph.Graph) (*Witness, error) {
+	if IsPlanar(g) {
+		return nil, ErrPlanarInput
+	}
+	work := g.Clone()
+	for _, e := range g.Edges() {
+		work.RemoveEdge(e.U, e.V)
+		if IsPlanar(work) {
+			work.MustAddEdge(e.U, e.V) // e is essential for non-planarity
+		}
+	}
+	return classifyMinimal(work)
+}
+
+// classifyMinimal decomposes an edge-minimal non-planar graph into a
+// Kuratowski witness: it must be a K5 or K3,3 subdivision once isolated
+// vertices are ignored.
+func classifyMinimal(work *graph.Graph) (*Witness, error) {
+	w := &Witness{Edges: work.Edges()}
+	for v := 0; v < work.N(); v++ {
+		switch d := work.Degree(v); {
+		case d == 0 || d == 2:
+			// interior path vertex or unused
+		case d == 4:
+			w.Branch = append(w.Branch, v)
+		case d == 3:
+			w.Branch = append(w.Branch, v)
+		default:
+			return nil, fmt.Errorf("%w: degree-%d vertex %d in minimal obstruction",
+				ErrInternal, d, v)
+		}
+	}
+	deg3, deg4 := 0, 0
+	for _, b := range w.Branch {
+		switch work.Degree(b) {
+		case 3:
+			deg3++
+		case 4:
+			deg4++
+		}
+	}
+	switch {
+	case deg4 == 5 && deg3 == 0:
+		w.Kind = KindK5
+	case deg3 == 6 && deg4 == 0:
+		w.Kind = KindK33
+	default:
+		return nil, fmt.Errorf("%w: branch degrees (deg3=%d, deg4=%d) match neither K5 nor K3,3",
+			ErrInternal, deg3, deg4)
+	}
+
+	// Walk the subdivision paths between branch vertices.
+	isBranch := make(map[int]bool, len(w.Branch))
+	for _, b := range w.Branch {
+		isBranch[b] = true
+	}
+	seen := make(map[graph.Edge]bool, work.M())
+	for _, b := range w.Branch {
+		for _, nb := range work.Neighbors(b) {
+			e0 := graph.NewEdge(b, nb)
+			if seen[e0] {
+				continue
+			}
+			path := []int{b}
+			prev, cur := b, nb
+			seen[e0] = true
+			for !isBranch[cur] {
+				if work.Degree(cur) != 2 {
+					return nil, fmt.Errorf("%w: path vertex %d has degree %d",
+						ErrInternal, cur, work.Degree(cur))
+				}
+				path = append(path, cur)
+				next := work.Neighbors(cur)[0]
+				if next == prev {
+					next = work.Neighbors(cur)[1]
+				}
+				seen[graph.NewEdge(cur, next)] = true
+				prev, cur = cur, next
+			}
+			path = append(path, cur)
+			w.Paths = append(w.Paths, path)
+		}
+	}
+	wantPaths := 10
+	if w.Kind == KindK33 {
+		wantPaths = 9
+	}
+	if len(w.Paths) != wantPaths {
+		return nil, fmt.Errorf("%w: %d subdivision paths for %v", ErrInternal, len(w.Paths), w.Kind)
+	}
+	vset := make(map[int]bool)
+	for _, p := range w.Paths {
+		for _, v := range p {
+			vset[v] = true
+		}
+	}
+	for v := range vset {
+		w.Vertices = append(w.Vertices, v)
+	}
+	if err := w.verify(work); err != nil {
+		return nil, err
+	}
+	if w.Kind == KindK33 {
+		if err := w.orderBranchesBySide(); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// orderBranchesBySide reorders a K3,3 witness's branch vertices so that
+// Branch[0..2] form one side of the bipartition and Branch[3..5] the
+// other (consumers index sides by position).
+func (w *Witness) orderBranchesBySide() error {
+	idx := make(map[int]int, len(w.Branch))
+	for i, b := range w.Branch {
+		idx[b] = i
+	}
+	side := make([]int, len(w.Branch))
+	for i := range side {
+		side[i] = -1
+	}
+	side[0] = 0
+	// Propagate through paths (each path joins opposite sides).
+	for changed := true; changed; {
+		changed = false
+		for _, p := range w.Paths {
+			a, b := idx[p[0]], idx[p[len(p)-1]]
+			switch {
+			case side[a] != -1 && side[b] == -1:
+				side[b] = 1 - side[a]
+				changed = true
+			case side[b] != -1 && side[a] == -1:
+				side[a] = 1 - side[b]
+				changed = true
+			}
+		}
+	}
+	var first, second []int
+	for i, b := range w.Branch {
+		switch side[i] {
+		case 0:
+			first = append(first, b)
+		case 1:
+			second = append(second, b)
+		default:
+			return fmt.Errorf("%w: branch %d unreachable in bipartition", ErrInternal, b)
+		}
+	}
+	if len(first) != 3 || len(second) != 3 {
+		return fmt.Errorf("%w: bipartition sides %d+%d", ErrInternal, len(first), len(second))
+	}
+	w.Branch = append(first, second...)
+	return nil
+}
+
+// verify checks that the witness's branch structure is exactly K5 or K3,3
+// after suppressing interior path vertices.
+func (w *Witness) verify(work *graph.Graph) error {
+	// Build the branch multigraph from the paths.
+	idx := make(map[int]int, len(w.Branch))
+	for i, b := range w.Branch {
+		idx[b] = i
+	}
+	k := len(w.Branch)
+	adj := make([][]bool, k)
+	for i := range adj {
+		adj[i] = make([]bool, k)
+	}
+	for _, p := range w.Paths {
+		a, ok1 := idx[p[0]]
+		b, ok2 := idx[p[len(p)-1]]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("%w: path endpoint not a branch vertex", ErrInternal)
+		}
+		if a == b {
+			return fmt.Errorf("%w: subdivision path is a cycle at branch %d", ErrInternal, p[0])
+		}
+		if adj[a][b] {
+			return fmt.Errorf("%w: parallel subdivision paths between branches", ErrInternal)
+		}
+		adj[a][b] = true
+		adj[b][a] = true
+		// Interior vertices must not be branch vertices.
+		for _, v := range p[1 : len(p)-1] {
+			if _, isB := idx[v]; isB {
+				return fmt.Errorf("%w: branch vertex %d interior to a path", ErrInternal, v)
+			}
+		}
+	}
+	switch w.Kind {
+	case KindK5:
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if !adj[i][j] {
+					return fmt.Errorf("%w: K5 witness missing branch edge %d-%d", ErrInternal, i, j)
+				}
+			}
+		}
+	case KindK33:
+		// The branch graph must be bipartite 3+3 with complete connections.
+		side := make([]int, k)
+		for i := range side {
+			side[i] = -1
+		}
+		side[0] = 0
+		queue := []int{0}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < k; v++ {
+				if !adj[u][v] {
+					continue
+				}
+				if side[v] == -1 {
+					side[v] = 1 - side[u]
+					queue = append(queue, v)
+				} else if side[v] == side[u] {
+					return fmt.Errorf("%w: K3,3 witness branch graph not bipartite", ErrInternal)
+				}
+			}
+		}
+		count := [2]int{}
+		for _, s := range side {
+			if s == -1 {
+				return fmt.Errorf("%w: K3,3 witness branch graph disconnected", ErrInternal)
+			}
+			count[s]++
+		}
+		if count[0] != 3 || count[1] != 3 {
+			return fmt.Errorf("%w: K3,3 witness parts %d+%d", ErrInternal, count[0], count[1])
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if side[i] != side[j] && i != j && !adj[i][j] {
+					return fmt.Errorf("%w: K3,3 witness missing cross edge", ErrInternal)
+				}
+			}
+		}
+	}
+	// Every witness edge must exist in the minimal graph (and hence in G).
+	for _, e := range w.Edges {
+		if !work.HasEdge(e.U, e.V) {
+			return fmt.Errorf("%w: witness edge %v missing", ErrInternal, e)
+		}
+	}
+	return nil
+}
+
+// Outerplanar reports whether g is outerplanar, using the apex
+// characterisation: g is outerplanar iff g plus a universal vertex is
+// planar.
+func Outerplanar(g *graph.Graph) bool {
+	apex := g.Clone()
+	a := apex.MustAddNode(freshID(g))
+	for v := 0; v < g.N(); v++ {
+		apex.MustAddEdge(a, v)
+	}
+	return IsPlanar(apex)
+}
+
+// freshID returns an identifier not used by any node of g.
+func freshID(g *graph.Graph) graph.ID {
+	maxID := graph.ID(-1 << 62)
+	for _, id := range g.IDs() {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	return maxID + 1
+}

@@ -1,0 +1,153 @@
+package planarity_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/gen"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/planarity"
+)
+
+func TestKuratowskiOnPlanarInput(t *testing.T) {
+	if _, err := planarity.Kuratowski(gen.Grid(3, 3)); !errors.Is(err, planarity.ErrPlanarInput) {
+		t.Fatalf("Kuratowski on planar input: err = %v, want ErrPlanarInput", err)
+	}
+}
+
+func TestKuratowskiOnK5(t *testing.T) {
+	w, err := planarity.Kuratowski(gen.Complete(5))
+	if err != nil {
+		t.Fatalf("Kuratowski(K5): %v", err)
+	}
+	if w.Kind != planarity.KindK5 {
+		t.Fatalf("kind = %v, want K5", w.Kind)
+	}
+	if len(w.Branch) != 5 || len(w.Paths) != 10 || len(w.Edges) != 10 {
+		t.Fatalf("witness shape = (%d branch, %d paths, %d edges)",
+			len(w.Branch), len(w.Paths), len(w.Edges))
+	}
+}
+
+func TestKuratowskiOnK33(t *testing.T) {
+	w, err := planarity.Kuratowski(gen.CompleteBipartite(3, 3))
+	if err != nil {
+		t.Fatalf("Kuratowski(K3,3): %v", err)
+	}
+	if w.Kind != planarity.KindK33 {
+		t.Fatalf("kind = %v, want K3,3", w.Kind)
+	}
+	if len(w.Branch) != 6 || len(w.Paths) != 9 {
+		t.Fatalf("witness shape = (%d branch, %d paths)", len(w.Branch), len(w.Paths))
+	}
+}
+
+func TestKuratowskiOnSubdivisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		k5 := trial%2 == 0
+		g := gen.KuratowskiSubdivision(k5, 4, rng)
+		w, err := planarity.Kuratowski(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := planarity.KindK33
+		if k5 {
+			want = planarity.KindK5
+		}
+		if w.Kind != want {
+			t.Fatalf("trial %d: kind = %v, want %v", trial, w.Kind, want)
+		}
+	}
+}
+
+// TestKuratowskiWitnessProvesNonPlanarity is the completeness cross-check
+// for the LR test: any graph reported non-planar must yield a verified
+// Kuratowski subdivision, i.e. a *proof* of the answer.
+func TestKuratowskiWitnessProvesNonPlanarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	extracted := 0
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.Intn(12)
+		m := rng.Intn(n*(n-1)/2 + 1)
+		g, err := gen.GNM(n, m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if planarity.IsPlanar(g) {
+			continue
+		}
+		w, err := planarity.Kuratowski(g)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d m=%d): %v", trial, n, m, err)
+		}
+		// The witness subgraph itself must be non-planar, and every witness
+		// edge must belong to g.
+		sub := graph.NewWithNodes(g.N())
+		for _, e := range w.Edges {
+			if !g.HasEdge(e.U, e.V) {
+				t.Fatalf("trial %d: witness edge %v not in g", trial, e)
+			}
+			sub.MustAddEdge(e.U, e.V)
+		}
+		if planarity.IsPlanar(sub) {
+			t.Fatalf("trial %d: extracted witness subgraph is planar", trial)
+		}
+		extracted++
+	}
+	if extracted < 10 {
+		t.Fatalf("only %d non-planar instances exercised; weak test", extracted)
+	}
+}
+
+func TestKuratowskiOnPlantedHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := gen.PlantSubdivision(30, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := planarity.Kuratowski(g)
+	if err != nil {
+		t.Fatalf("Kuratowski(planted): %v", err)
+	}
+	if w.Kind != planarity.KindK5 && w.Kind != planarity.KindK33 {
+		t.Fatalf("unexpected kind %v", w.Kind)
+	}
+}
+
+func TestOuterplanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want bool
+	}{
+		{"path", gen.Path(10), true},
+		{"cycle", gen.Cycle(10), true},
+		{"tree", gen.RandomTree(20, rng), true},
+		{"outerplanar", gen.RandomOuterplanar(15, 0.8, rng), true},
+		{"K4", gen.Complete(4), false},
+		{"K2,3", gen.CompleteBipartite(2, 3), false},
+		{"wheel", gen.Wheel(8), false},
+		{"grid-3x3", gen.Grid(3, 3), false},
+		{"K5", gen.Complete(5), false},
+		{"single", graph.NewWithNodes(1), true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := planarity.Outerplanar(tc.g); got != tc.want {
+				t.Fatalf("Outerplanar(%s) = %v, want %v", tc.name, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if planarity.KindK5.String() != "K5" || planarity.KindK33.String() != "K3,3" {
+		t.Fatal("Kind.String wrong")
+	}
+	if planarity.Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown Kind.String wrong")
+	}
+}

@@ -1,0 +1,599 @@
+// Package planarity implements a linear-time planarity test with
+// combinatorial-embedding extraction, plus Kuratowski-subgraph extraction
+// and an outerplanarity test.
+//
+// The test is the left-right (LR) algorithm of de Fraysseix and Rosenstiehl,
+// in the formulation of Brandes ("The left-right planarity test"). This is
+// the algorithmic face of the Trémaux-order theory that Feuilloley et al.
+// (PODC 2020) build their proof-labeling scheme on: a graph is planar iff
+// the cotree edges of a DFS tree can be 2-coloured (left/right) so that
+// same-side return edges nest. On success the algorithm yields a rotation
+// system (a planar combinatorial embedding); every embedding produced here
+// is additionally auditable with an Euler-formula check (embedding.IsPlanar).
+package planarity
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/planarcert/planarcert/internal/embedding"
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+// ErrInternal reports an internal invariant violation in the LR test. It
+// should never be observed; it exists so that library code fails loudly
+// without panicking.
+var ErrInternal = errors.New("planarity: internal invariant violation")
+
+const none = -1 // sentinel for "no edge" / "no vertex"
+
+// interval is a maximal set of return edges sharing the same side,
+// represented by its extreme edges (ids into the lr state), or empty.
+type interval struct {
+	low, high int32
+}
+
+func (i interval) empty() bool { return i.low == none && i.high == none }
+
+// conflictPair groups the return-edge intervals of the left and right side.
+type conflictPair struct {
+	l, r interval
+}
+
+func emptyInterval() interval { return interval{low: none, high: none} }
+
+func (p *conflictPair) swap() { p.l, p.r = p.r, p.l }
+
+// lr holds the whole algorithm state. Edges are identified by the index of
+// the undirected edge in a fixed ordering; each edge is oriented during the
+// orientation DFS.
+type lr struct {
+	g *graph.Graph
+	n int
+	m int
+
+	eid   map[graph.Edge]int32 // undirected edge -> edge id
+	elist []graph.Edge         // edge id -> undirected edge
+	from  []int32              // edge id -> tail after orientation (none if unoriented)
+	to    []int32              // edge id -> head after orientation
+
+	height     []int32 // vertex -> DFS height (none = unvisited)
+	parentEdge []int32 // vertex -> incoming tree edge id (none at roots)
+	roots      []int32
+
+	lowpt    []int32
+	lowpt2   []int32
+	nesting  []int32
+	ref      []int32
+	side     []int8
+	lowptE   []int32 // lowpt_edge
+	stackBot []int32 // per-edge stack height snapshot
+
+	outAdj [][]int32 // vertex -> outgoing edge ids, sorted by nesting depth
+
+	s   []conflictPair
+	err error // internal invariant violation, if any
+}
+
+// Check tests g for planarity. If planar it returns (true, rotation, nil)
+// where rotation is a planar combinatorial embedding of g; otherwise
+// (false, nil, nil). The error return is reserved for internal invariant
+// violations and never fires on valid inputs.
+func Check(g *graph.Graph) (bool, *embedding.Rotation, error) {
+	n, m := g.N(), g.M()
+	if n > 2 && m > 3*n-6 {
+		return false, nil, nil // Euler bound: too many edges to be planar
+	}
+	st := newLR(g)
+	st.orient()
+	planar := st.test()
+	if st.err != nil {
+		return false, nil, st.err
+	}
+	if !planar {
+		return false, nil, nil
+	}
+	rot, err := st.embed()
+	if err != nil {
+		return false, nil, err
+	}
+	return true, rot, nil
+}
+
+// IsPlanar is a convenience wrapper around Check discarding the embedding.
+func IsPlanar(g *graph.Graph) bool {
+	ok, _, _ := Check(g)
+	return ok
+}
+
+func newLR(g *graph.Graph) *lr {
+	n, m := g.N(), g.M()
+	st := &lr{
+		g:          g,
+		n:          n,
+		m:          m,
+		eid:        make(map[graph.Edge]int32, m),
+		from:       make([]int32, m),
+		to:         make([]int32, m),
+		height:     make([]int32, n),
+		parentEdge: make([]int32, n),
+		lowpt:      make([]int32, m),
+		lowpt2:     make([]int32, m),
+		nesting:    make([]int32, m),
+		ref:        make([]int32, m),
+		side:       make([]int8, m),
+		lowptE:     make([]int32, m),
+		stackBot:   make([]int32, m),
+		outAdj:     make([][]int32, n),
+	}
+	st.elist = g.Edges()
+	for i, e := range st.elist {
+		st.eid[e] = int32(i)
+	}
+	for i := 0; i < m; i++ {
+		st.from[i] = none
+		st.to[i] = none
+		st.ref[i] = none
+		st.side[i] = 1
+		st.lowptE[i] = none
+	}
+	for v := 0; v < n; v++ {
+		st.height[v] = none
+		st.parentEdge[v] = none
+	}
+	return st
+}
+
+func (st *lr) edgeID(u, v int) int32 { return st.eid[graph.NewEdge(u, v)] }
+
+// orient runs the orientation DFS (phase 1): it orients every edge, builds
+// the DFS forest, and computes lowpt, lowpt2 and nesting depth per edge.
+func (st *lr) orient() {
+	for v := 0; v < st.n; v++ {
+		if st.height[v] == none {
+			st.height[v] = 0
+			st.roots = append(st.roots, int32(v))
+			st.dfs1(int32(v))
+		}
+	}
+}
+
+func (st *lr) dfs1(v int32) {
+	e := st.parentEdge[v]
+	for _, w := range st.g.Neighbors(int(v)) {
+		ei := st.edgeID(int(v), w)
+		if st.from[ei] != none {
+			continue // already oriented (from the other side, or parent)
+		}
+		st.from[ei] = v
+		st.to[ei] = int32(w)
+		st.lowpt[ei] = st.height[v]
+		st.lowpt2[ei] = st.height[v]
+		if st.height[w] == none { // tree edge
+			st.parentEdge[w] = ei
+			st.height[w] = st.height[v] + 1
+			st.dfs1(int32(w))
+		} else { // back edge
+			st.lowpt[ei] = st.height[w]
+		}
+		// Nesting depth: interleaved ordering key for phase 2.
+		st.nesting[ei] = 2 * st.lowpt[ei]
+		if st.lowpt2[ei] < st.height[v] { // chordal: needs to be nested deeper
+			st.nesting[ei]++
+		}
+		// Propagate lowpoints to the parent edge.
+		if e != none {
+			switch {
+			case st.lowpt[ei] < st.lowpt[e]:
+				st.lowpt2[e] = min32(st.lowpt[e], st.lowpt2[ei])
+				st.lowpt[e] = st.lowpt[ei]
+			case st.lowpt[ei] > st.lowpt[e]:
+				st.lowpt2[e] = min32(st.lowpt2[e], st.lowpt[ei])
+			default:
+				st.lowpt2[e] = min32(st.lowpt2[e], st.lowpt2[ei])
+			}
+		}
+	}
+}
+
+// sortOutgoing (re)builds outAdj sorted by the current nesting depths.
+func (st *lr) sortOutgoing() {
+	for v := range st.outAdj {
+		st.outAdj[v] = st.outAdj[v][:0]
+	}
+	for ei := 0; ei < st.m; ei++ {
+		if st.from[ei] != none {
+			st.outAdj[st.from[ei]] = append(st.outAdj[st.from[ei]], int32(ei))
+		}
+	}
+	for v := range st.outAdj {
+		adj := st.outAdj[v]
+		sort.SliceStable(adj, func(i, j int) bool {
+			return st.nesting[adj[i]] < st.nesting[adj[j]]
+		})
+	}
+}
+
+// test runs the testing DFS (phase 2) and reports planarity.
+func (st *lr) test() bool {
+	st.sortOutgoing()
+	for _, r := range st.roots {
+		if !st.dfs2(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *lr) top() *conflictPair { return &st.s[len(st.s)-1] }
+
+func (st *lr) pop() conflictPair {
+	if len(st.s) == 0 {
+		st.err = fmt.Errorf("%w: pop of empty conflict-pair stack", ErrInternal)
+		return conflictPair{l: emptyInterval(), r: emptyInterval()}
+	}
+	p := st.s[len(st.s)-1]
+	st.s = st.s[:len(st.s)-1]
+	return p
+}
+
+func (st *lr) conflicting(i interval, b int32) bool {
+	return !i.empty() && st.lowpt[i.high] > st.lowpt[b]
+}
+
+func (st *lr) lowest(p conflictPair) int32 {
+	if p.l.empty() {
+		return st.lowpt[p.r.low]
+	}
+	if p.r.empty() {
+		return st.lowpt[p.l.low]
+	}
+	return min32(st.lowpt[p.l.low], st.lowpt[p.r.low])
+}
+
+func (st *lr) dfs2(v int32) bool {
+	e := st.parentEdge[v]
+	for idx, ei := range st.outAdj[v] {
+		st.stackBot[ei] = int32(len(st.s))
+		if st.parentEdge[st.to[ei]] == ei { // tree edge
+			if !st.dfs2(st.to[ei]) {
+				return false
+			}
+		} else { // back edge
+			st.lowptE[ei] = ei
+			st.s = append(st.s, conflictPair{l: emptyInterval(), r: interval{low: ei, high: ei}})
+		}
+		if st.lowpt[ei] < st.height[v] { // ei has a return edge below v
+			if idx == 0 {
+				if e != none {
+					st.lowptE[e] = st.lowptE[ei]
+				}
+			} else if !st.addConstraints(ei, e) {
+				return false
+			}
+		}
+	}
+	if e != none {
+		u := st.from[e]
+		st.trimBackEdges(u)
+		// Side of e is the side of a highest return edge.
+		if st.lowpt[e] < st.height[u] {
+			if len(st.s) == 0 {
+				st.err = fmt.Errorf("%w: empty stack at side resolution", ErrInternal)
+				return false
+			}
+			hl := st.top().l.high
+			hr := st.top().r.high
+			if hl != none && (hr == none || st.lowpt[hl] > st.lowpt[hr]) {
+				st.ref[e] = hl
+			} else {
+				st.ref[e] = hr
+			}
+		}
+	}
+	return true
+}
+
+func (st *lr) addConstraints(ei, e int32) bool {
+	p := conflictPair{l: emptyInterval(), r: emptyInterval()}
+	// Merge return edges of ei into p.r.
+	for {
+		q := st.pop()
+		if st.err != nil {
+			return false
+		}
+		if !q.l.empty() {
+			q.swap()
+		}
+		if !q.l.empty() {
+			return false // not planar
+		}
+		if st.lowpt[q.r.low] > st.lowpt[e] {
+			// Merge intervals.
+			if p.r.empty() {
+				p.r.high = q.r.high
+			} else {
+				st.ref[p.r.low] = q.r.high
+			}
+			p.r.low = q.r.low
+		} else {
+			// Align with the parent edge's lowpoint edge.
+			st.ref[q.r.low] = st.lowptE[e]
+		}
+		if int32(len(st.s)) == st.stackBot[ei] {
+			break
+		}
+	}
+	// Merge conflicting return edges of e_1, ..., e_{i-1} into p.l.
+	for len(st.s) > 0 && (st.conflicting(st.top().l, ei) || st.conflicting(st.top().r, ei)) {
+		q := st.pop()
+		if st.conflicting(q.r, ei) {
+			q.swap()
+		}
+		if st.conflicting(q.r, ei) {
+			return false // not planar
+		}
+		// Merge interval below lowpt(ei) into p.r.
+		if p.r.low != none {
+			st.ref[p.r.low] = q.r.high
+		}
+		if q.r.low != none {
+			p.r.low = q.r.low
+		}
+		if p.l.empty() {
+			p.l.high = q.l.high
+		} else {
+			st.ref[p.l.low] = q.l.high
+		}
+		p.l.low = q.l.low
+	}
+	if !(p.l.empty() && p.r.empty()) {
+		st.s = append(st.s, p)
+	}
+	return true
+}
+
+func (st *lr) trimBackEdges(u int32) {
+	// Drop entire conflict pairs whose lowest return point is u.
+	for len(st.s) > 0 && st.lowest(st.s[len(st.s)-1]) == st.height[u] {
+		p := st.pop()
+		if p.l.low != none {
+			st.side[p.l.low] = -1
+		}
+	}
+	if len(st.s) == 0 {
+		return
+	}
+	// One more conflict pair to consider: trim its intervals.
+	p := st.pop()
+	for p.l.high != none && st.to[p.l.high] == u {
+		p.l.high = st.ref[p.l.high]
+	}
+	if p.l.high == none && p.l.low != none {
+		// Left interval just emptied.
+		st.ref[p.l.low] = p.r.low
+		st.side[p.l.low] = -1
+		p.l.low = none
+	}
+	for p.r.high != none && st.to[p.r.high] == u {
+		p.r.high = st.ref[p.r.high]
+	}
+	if p.r.high == none && p.r.low != none {
+		st.ref[p.r.low] = p.l.low
+		st.side[p.r.low] = -1
+		p.r.low = none
+	}
+	st.s = append(st.s, p)
+}
+
+// resolveSign resolves side(e) through the ref chain, memoising results.
+func (st *lr) resolveSign(e int32) int8 {
+	// Iterative resolution to avoid deep recursion on ref chains.
+	var chain []int32
+	x := e
+	for st.ref[x] != none {
+		chain = append(chain, x)
+		x = st.ref[x]
+	}
+	s := st.side[x]
+	for i := len(chain) - 1; i >= 0; i-- {
+		st.side[chain[i]] *= s
+		s = st.side[chain[i]]
+		st.ref[chain[i]] = none
+	}
+	return s
+}
+
+// halfEdgeID maps the directed edge (u,v) to its half-edge id in [0, 2m).
+func (st *lr) halfEdgeID(u, v int32) int32 {
+	ei := st.edgeID(int(u), int(v))
+	if graph.NewEdge(int(u), int(v)).U == int(u) {
+		return 2 * ei
+	}
+	return 2*ei + 1
+}
+
+// rotationBuilder is a set of circular doubly-linked half-edge lists, one
+// per vertex, supporting O(1) insertion relative to a reference neighbor.
+type rotationBuilder struct {
+	st    *lr
+	next  []int32 // half-edge -> next half-edge in rotation of its tail
+	prev  []int32
+	first []int32 // vertex -> first half-edge (none if empty)
+	last  []int32
+	count []int32
+}
+
+func newRotationBuilder(st *lr) *rotationBuilder {
+	b := &rotationBuilder{
+		st:    st,
+		next:  make([]int32, 2*st.m),
+		prev:  make([]int32, 2*st.m),
+		first: make([]int32, st.n),
+		last:  make([]int32, st.n),
+		count: make([]int32, st.n),
+	}
+	for i := range b.next {
+		b.next[i] = none
+		b.prev[i] = none
+	}
+	for v := range b.first {
+		b.first[v] = none
+		b.last[v] = none
+	}
+	return b
+}
+
+// append adds (v,w) at the end of v's list.
+func (b *rotationBuilder) append(v, w int32) {
+	he := b.st.halfEdgeID(v, w)
+	if b.first[v] == none {
+		b.first[v] = he
+		b.last[v] = he
+	} else {
+		b.next[b.last[v]] = he
+		b.prev[he] = b.last[v]
+		b.last[v] = he
+	}
+	b.count[v]++
+}
+
+// prependFirst adds (v,w) at the front of v's list.
+func (b *rotationBuilder) prependFirst(v, w int32) {
+	he := b.st.halfEdgeID(v, w)
+	if b.first[v] == none {
+		b.first[v] = he
+		b.last[v] = he
+	} else {
+		b.next[he] = b.first[v]
+		b.prev[b.first[v]] = he
+		b.first[v] = he
+	}
+	b.count[v]++
+}
+
+// insertAfter inserts (v,w) immediately after (v,ref) in v's list.
+func (b *rotationBuilder) insertAfter(v, w, ref int32) {
+	he := b.st.halfEdgeID(v, w)
+	rhe := b.st.halfEdgeID(v, ref)
+	nxt := b.next[rhe]
+	b.next[rhe] = he
+	b.prev[he] = rhe
+	b.next[he] = nxt
+	if nxt == none {
+		b.last[v] = he
+	} else {
+		b.prev[nxt] = he
+	}
+	b.count[v]++
+}
+
+// insertBefore inserts (v,w) immediately before (v,ref) in v's list.
+func (b *rotationBuilder) insertBefore(v, w, ref int32) {
+	he := b.st.halfEdgeID(v, w)
+	rhe := b.st.halfEdgeID(v, ref)
+	prv := b.prev[rhe]
+	b.prev[rhe] = he
+	b.next[he] = rhe
+	b.prev[he] = prv
+	if prv == none {
+		b.first[v] = he
+	} else {
+		b.next[prv] = he
+	}
+	b.count[v]++
+}
+
+// build materialises the linked lists into a Rotation.
+func (b *rotationBuilder) build() (*embedding.Rotation, error) {
+	rot := embedding.NewRotation(b.st.n)
+	for v := 0; v < b.st.n; v++ {
+		deg := b.st.g.Degree(v)
+		if int(b.count[v]) != deg {
+			return nil, fmt.Errorf("%w: vertex %d has %d half-edges, degree %d",
+				ErrInternal, v, b.count[v], deg)
+		}
+		order := make([]int, 0, deg)
+		for he := b.first[v]; he != none; he = b.next[he] {
+			e := b.st.elist[he/2]
+			tail := e.U
+			if he%2 == 1 {
+				tail = e.V
+			}
+			if tail != v {
+				return nil, fmt.Errorf("%w: half-edge %d in list of %d has tail %d",
+					ErrInternal, he, v, tail)
+			}
+			order = append(order, e.Other(tail))
+		}
+		rot.Order[v] = order
+	}
+	return rot, nil
+}
+
+// embed runs the embedding phase (phase 3) and returns a planar rotation
+// system for g.
+func (st *lr) embed() (*embedding.Rotation, error) {
+	// Resolve sides and fold them into the nesting depths.
+	for ei := 0; ei < st.m; ei++ {
+		if st.from[ei] == none {
+			continue
+		}
+		st.nesting[ei] *= int32(st.resolveSign(int32(ei)))
+	}
+	st.sortOutgoing()
+
+	b := newRotationBuilder(st)
+	// Place outgoing half-edges of every vertex in signed nesting order.
+	for v := 0; v < st.n; v++ {
+		for _, ei := range st.outAdj[v] {
+			b.append(int32(v), st.to[ei])
+		}
+	}
+	leftRef := make([]int32, st.n)
+	rightRef := make([]int32, st.n)
+	for i := range leftRef {
+		leftRef[i] = none
+		rightRef[i] = none
+	}
+	for _, r := range st.roots {
+		if err := st.dfs3(r, b, leftRef, rightRef); err != nil {
+			return nil, err
+		}
+	}
+	return b.build()
+}
+
+func (st *lr) dfs3(v int32, b *rotationBuilder, leftRef, rightRef []int32) error {
+	for _, ei := range st.outAdj[v] {
+		w := st.to[ei]
+		if st.parentEdge[w] == ei { // tree edge: place (w -> v) first at w
+			b.prependFirst(w, v)
+			leftRef[v] = w
+			rightRef[v] = w
+			if err := st.dfs3(w, b, leftRef, rightRef); err != nil {
+				return err
+			}
+		} else { // back edge (v -> w): insert at the ancestor w
+			if rightRef[w] == none {
+				return fmt.Errorf("%w: back edge (%d,%d) before any tree edge at %d",
+					ErrInternal, v, w, w)
+			}
+			if st.side[ei] == 1 {
+				b.insertAfter(w, v, rightRef[w])
+			} else {
+				b.insertBefore(w, v, leftRef[w])
+				leftRef[w] = v
+			}
+		}
+	}
+	return nil
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,303 @@
+package planarity_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/embedding"
+	"github.com/planarcert/planarcert/internal/gen"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/planarity"
+)
+
+// mustPlanar asserts that g is reported planar and that the returned
+// rotation system is a *proven* planar embedding (genus-0 Euler audit).
+func mustPlanar(t *testing.T, g *graph.Graph, label string) *embedding.Rotation {
+	t.Helper()
+	ok, rot, err := planarity.Check(g)
+	if err != nil {
+		t.Fatalf("%s: Check error: %v", label, err)
+	}
+	if !ok {
+		t.Fatalf("%s: reported non-planar, want planar (%v)", label, g)
+	}
+	planar, err := rot.IsPlanar(g)
+	if err != nil {
+		t.Fatalf("%s: embedding audit error: %v", label, err)
+	}
+	if !planar {
+		t.Fatalf("%s: embedding failed Euler audit (genus %d)", label, rot.Genus(g))
+	}
+	return rot
+}
+
+func mustNonPlanar(t *testing.T, g *graph.Graph, label string) {
+	t.Helper()
+	ok, _, err := planarity.Check(g)
+	if err != nil {
+		t.Fatalf("%s: Check error: %v", label, err)
+	}
+	if ok {
+		t.Fatalf("%s: reported planar, want non-planar (%v)", label, g)
+	}
+}
+
+func TestTrivialGraphs(t *testing.T) {
+	mustPlanar(t, graph.New(0), "empty")
+	mustPlanar(t, graph.NewWithNodes(1), "K1")
+	mustPlanar(t, graph.NewWithNodes(5), "5 isolated vertices")
+	mustPlanar(t, gen.Path(2), "K2")
+}
+
+func TestKnownPlanarFamilies(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path-10", gen.Path(10)},
+		{"cycle-12", gen.Cycle(12)},
+		{"star-9", gen.Star(9)},
+		{"K4", gen.Complete(4)},
+		{"K2,40", gen.CompleteBipartite(2, 40)},
+		{"grid-7x9", gen.Grid(7, 9)},
+		{"wheel-20", gen.Wheel(20)},
+		{"caterpillar", gen.Caterpillar(10, 17)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			mustPlanar(t, tc.g, tc.name)
+		})
+	}
+}
+
+func TestKnownNonPlanarFamilies(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"K5", gen.Complete(5)},
+		{"K6", gen.Complete(6)},
+		{"K3,3", gen.CompleteBipartite(3, 3)},
+		{"K3,4", gen.CompleteBipartite(3, 4)},
+		{"K4,4", gen.CompleteBipartite(4, 4)},
+		{"petersen", petersen()},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			mustNonPlanar(t, tc.g, tc.name)
+		})
+	}
+}
+
+func petersen() *graph.Graph {
+	g := graph.NewWithNodes(10)
+	for i := 0; i < 5; i++ {
+		g.MustAddEdge(i, (i+1)%5)     // outer 5-cycle
+		g.MustAddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		g.MustAddEdge(i, 5+i)         // spokes
+	}
+	return g
+}
+
+func TestQ3PlanarQ4Not(t *testing.T) {
+	mustPlanar(t, hypercube(3), "Q3")
+	mustNonPlanar(t, hypercube(4), "Q4")
+}
+
+func hypercube(d int) *graph.Graph {
+	n := 1 << d
+	g := graph.NewWithNodes(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestStackedTriangulationsPlanarByConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{3, 4, 5, 8, 20, 100, 500} {
+		g := gen.StackedTriangulation(n, rng)
+		if want := 3*n - 6; g.M() != want {
+			t.Fatalf("stacked n=%d has %d edges, want %d", n, g.M(), want)
+		}
+		rot := mustPlanar(t, g, "stacked")
+		// A maximal planar embedding must have exactly 2n-4 faces.
+		if f := rot.FaceCount(); f != 2*n-4 {
+			t.Fatalf("stacked n=%d embedding has %d faces, want %d", n, f, 2*n-4)
+		}
+	}
+}
+
+func TestRandomPlanarAlwaysAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(60)
+		m := (n - 1) + rng.Intn(2*n-4)
+		g, err := gen.RandomPlanar(n, m, rng)
+		if err != nil {
+			t.Fatalf("RandomPlanar(%d,%d): %v", n, m, err)
+		}
+		mustPlanar(t, g, "random-planar")
+	}
+}
+
+func TestRandomOuterplanarAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(40)
+		g := gen.RandomOuterplanar(n, rng.Float64(), rng)
+		mustPlanar(t, g, "outerplanar")
+	}
+}
+
+func TestSeriesParallelAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		g := gen.SeriesParallel(1+rng.Intn(50), rng)
+		mustPlanar(t, g, "series-parallel")
+	}
+}
+
+func TestSubdivisionPreservesStatus(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 10; trial++ {
+		// Subdividing edges never changes planarity.
+		planar, err := gen.RandomPlanar(12, 20, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustPlanar(t, gen.SubdivideEdges(planar, 3, rng), "subdivided planar")
+		mustNonPlanar(t, gen.KuratowskiSubdivision(true, 4, rng), "subdivided K5")
+		mustNonPlanar(t, gen.KuratowskiSubdivision(false, 4, rng), "subdivided K3,3")
+	}
+}
+
+func TestPlantedSubdivisionNonPlanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		g, err := gen.PlantSubdivision(20+rng.Intn(30), trial%2 == 0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustNonPlanar(t, g, "planted subdivision")
+	}
+}
+
+func TestMaximalPlanarPlusAnyEdgeNonPlanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := gen.StackedTriangulation(12, rng)
+	added := 0
+	for u := 0; u < g.N() && added < 8; u++ {
+		for v := u + 1; v < g.N() && added < 8; v++ {
+			if g.HasEdge(u, v) {
+				continue
+			}
+			h := g.Clone()
+			h.MustAddEdge(u, v)
+			mustNonPlanar(t, h, "triangulation+edge")
+			added++
+		}
+	}
+	if added == 0 {
+		t.Fatal("no non-adjacent pair found in triangulation")
+	}
+}
+
+// TestMonotonicity exercises the hereditary property: every subgraph of a
+// planar graph is planar; every supergraph of a non-planar graph is
+// non-planar. Violations indicate internal inconsistency of the test.
+func TestMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(14)
+		maxM := n * (n - 1) / 2
+		g, err := gen.GNM(n, rng.Intn(maxM+1), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wasPlanar := planarity.IsPlanar(g)
+		edges := g.Edges()
+		if len(edges) == 0 {
+			continue
+		}
+		e := edges[rng.Intn(len(edges))]
+		g.RemoveEdge(e.U, e.V)
+		if wasPlanar && !planarity.IsPlanar(g) {
+			t.Fatalf("trial %d: removing an edge made a planar graph non-planar", trial)
+		}
+	}
+}
+
+func TestDisconnectedGraphs(t *testing.T) {
+	// Planar union.
+	g := graph.NewWithNodes(8)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(4, 5)
+	mustPlanar(t, g, "disconnected planar")
+
+	// One non-planar component taints the union.
+	h := gen.Complete(5)
+	for i := 0; i < 3; i++ {
+		h.MustAddNode(graph.ID(100 + i))
+	}
+	mustNonPlanar(t, h, "K5 + isolated vertices")
+}
+
+func TestScrambledIDsDoNotAffectResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	g, err := gen.RandomPlanar(30, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPlanar(t, gen.ScrambleIDs(g, rng), "scrambled planar")
+}
+
+func TestDensityEarlyExit(t *testing.T) {
+	// m > 3n-6 must be rejected without running the DFS machinery.
+	g := gen.Complete(8) // 28 > 18
+	mustNonPlanar(t, g, "dense early exit")
+}
+
+func TestLargeRandomPlanarStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{1000, 5000} {
+		g := gen.StackedTriangulation(n, rng)
+		mustPlanar(t, g, "large stacked")
+	}
+}
+
+func TestRandomGNMAgainstEulerAudit(t *testing.T) {
+	// For arbitrary random graphs, whenever LR reports planar the produced
+	// embedding must pass the genus-0 audit (a complete proof of the
+	// answer). Non-planar answers are cross-checked by Kuratowski
+	// extraction in kuratowski_test.go.
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 120; trial++ {
+		n := 4 + rng.Intn(20)
+		m := rng.Intn(3*n - 5)
+		g, err := gen.GNM(n, m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, rot, err := planarity.Check(g)
+		if err != nil {
+			t.Fatalf("Check: %v", err)
+		}
+		if ok {
+			planar, err := rot.IsPlanar(g)
+			if err != nil || !planar {
+				t.Fatalf("trial %d: claimed-planar embedding failed audit: %v", trial, err)
+			}
+		}
+	}
+}

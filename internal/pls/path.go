@@ -1,0 +1,145 @@
+package pls
+
+import (
+	"fmt"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/dist"
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+// PathCert is the warm-up certificate of Section 2: the network is a path
+// iff the prover can rank the nodes 1..n so that ranks change by one along
+// edges and the degrees match the path shape.
+type PathCert struct {
+	SelfID graph.ID
+	N      uint64
+	Rank   uint64 // in [1, N]
+}
+
+// Encode serialises the certificate.
+func (c *PathCert) Encode(w *bits.Writer) error {
+	for _, v := range []uint64{uint64(c.SelfID), c.N, c.Rank} {
+		if err := w.WriteVar(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodePathCert reads a PathCert.
+func DecodePathCert(r *bits.Reader) (*PathCert, error) {
+	vals := make([]uint64, 3)
+	for i := range vals {
+		v, err := r.ReadVar()
+		if err != nil {
+			return nil, fmt.Errorf("path cert field %d: %w", i, err)
+		}
+		vals[i] = v
+	}
+	return &PathCert{SelfID: graph.ID(vals[0]), N: vals[1], Rank: vals[2]}, nil
+}
+
+// PathScheme is the proof-labeling scheme for the class of path graphs
+// (the paper's introductory example of a PLS).
+type PathScheme struct{}
+
+// Name implements Scheme.
+func (PathScheme) Name() string { return "path" }
+
+// Prove implements Scheme.
+func (PathScheme) Prove(g *graph.Graph) (map[graph.ID]bits.Certificate, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty graph", ErrNotInClass)
+	}
+	if g.M() != n-1 || !g.Connected() {
+		return nil, fmt.Errorf("%w: not a path (m=%d)", ErrNotInClass, g.M())
+	}
+	// Find an endpoint and walk.
+	start := -1
+	for v := 0; v < n; v++ {
+		switch g.Degree(v) {
+		case 0:
+			if n != 1 {
+				return nil, fmt.Errorf("%w: isolated vertex", ErrNotInClass)
+			}
+			start = v
+		case 1:
+			if start == -1 {
+				start = v
+			}
+		case 2:
+			// interior
+		default:
+			return nil, fmt.Errorf("%w: degree %d vertex", ErrNotInClass, g.Degree(v))
+		}
+	}
+	if start == -1 {
+		return nil, fmt.Errorf("%w: no endpoint found", ErrNotInClass)
+	}
+	certs := make(map[graph.ID]bits.Certificate, n)
+	prev, cur := -1, start
+	for rank := 1; rank <= n; rank++ {
+		c := PathCert{SelfID: g.IDOf(cur), N: uint64(n), Rank: uint64(rank)}
+		var w bits.Writer
+		if err := c.Encode(&w); err != nil {
+			return nil, err
+		}
+		certs[g.IDOf(cur)] = bits.FromWriter(&w)
+		next := -1
+		for _, nb := range g.Neighbors(cur) {
+			if nb != prev {
+				next = nb
+				break
+			}
+		}
+		if next == -1 && rank != n {
+			return nil, fmt.Errorf("%w: walk ended early at rank %d", ErrNotInClass, rank)
+		}
+		prev, cur = cur, next
+	}
+	return certs, nil
+}
+
+// Verify implements Scheme.
+func (PathScheme) Verify(view dist.View) error {
+	self, err := DecodePathCert(view.Cert.Reader())
+	if err != nil {
+		return err
+	}
+	if self.SelfID != view.ID {
+		return fmt.Errorf("path: certificate claims ID %d, node is %d", self.SelfID, view.ID)
+	}
+	if self.Rank < 1 || self.Rank > self.N {
+		return fmt.Errorf("path: rank %d outside [1,%d]", self.Rank, self.N)
+	}
+	wantDeg := 2
+	if self.Rank == 1 || self.Rank == self.N {
+		wantDeg = 1
+	}
+	if self.N == 1 {
+		wantDeg = 0
+	}
+	if view.Degree != wantDeg {
+		return fmt.Errorf("path: rank %d has degree %d, want %d", self.Rank, view.Degree, wantDeg)
+	}
+	seen := map[uint64]bool{}
+	for _, nb := range view.Neighbors {
+		nc, err := DecodePathCert(nb.Cert.Reader())
+		if err != nil {
+			return err
+		}
+		if nc.N != self.N {
+			return fmt.Errorf("path: neighbor disagrees on n")
+		}
+		if nc.Rank != self.Rank-1 && nc.Rank != self.Rank+1 {
+			return fmt.Errorf("path: neighbor rank %d next to rank %d", nc.Rank, self.Rank)
+		}
+		if seen[nc.Rank] {
+			return fmt.Errorf("path: two neighbors with rank %d", nc.Rank)
+		}
+		seen[nc.Rank] = true
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+// Package pls defines the proof-labeling-scheme framework: a Scheme is a
+// prover/verifier pair in the sense of Korman, Kutten and Peleg. The
+// prover, given the whole graph (it is an untrusted oracle with full
+// knowledge), assigns each node a certificate; the verifier is a local
+// algorithm run by every node on its 1-round view.
+//
+// The package also provides the two classic building blocks the paper
+// recalls in Section 2 and reuses inside Theorem 1: the spanning-tree
+// proof (root + parent + distance + subtree sizes) and the spanning-path
+// proof (ranks).
+package pls
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/dist"
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+// ErrNotInClass is returned by honest provers when the input graph is not
+// in the certified class (completeness only promises certificates for
+// members).
+var ErrNotInClass = errors.New("pls: graph not in the certified class")
+
+// Scheme is a proof-labeling scheme for some graph class.
+type Scheme interface {
+	// Name identifies the scheme in experiment tables.
+	Name() string
+	// Prove computes honest certificates for a member of the class. For
+	// non-members it returns ErrNotInClass (wrapped).
+	Prove(g *graph.Graph) (map[graph.ID]bits.Certificate, error)
+	// Verify is the local decision run at every node.
+	Verify(view dist.View) error
+}
+
+// Run proves and verifies in one call (the honest end-to-end path).
+func Run(s Scheme, g *graph.Graph) (*dist.Outcome, error) {
+	certs, err := s.Prove(g)
+	if err != nil {
+		return nil, fmt.Errorf("%s prover: %w", s.Name(), err)
+	}
+	return dist.RunPLS(g, certs, s.Verify), nil
+}
+
+// RunWithCerts verifies an arbitrary (possibly adversarial) certificate
+// assignment.
+func RunWithCerts(s Scheme, g *graph.Graph, certs map[graph.ID]bits.Certificate) *dist.Outcome {
+	return dist.RunPLS(g, certs, s.Verify)
+}

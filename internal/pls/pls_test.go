@@ -1,0 +1,228 @@
+package pls_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/gen"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+func TestSpanningTreeCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	graphs := []*graph.Graph{
+		gen.Path(10),
+		gen.Cycle(8),
+		gen.Grid(4, 6),
+		gen.RandomTree(25, rng),
+		gen.Complete(6),
+		gen.ScrambleIDs(gen.Grid(5, 5), rng),
+	}
+	for i, g := range graphs {
+		out, err := pls.Run(pls.SpanningTreeScheme{}, g)
+		if err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if !out.AllAccept() {
+			t.Fatalf("graph %d: rejecting nodes %v (%v)", i, out.Rejecting, out.Reasons)
+		}
+		if out.MaxCertBit == 0 {
+			t.Fatalf("graph %d: zero-size certificates", i)
+		}
+	}
+}
+
+func TestSpanningTreeSoundnessTamper(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.ScrambleIDs(gen.Grid(5, 5), rng)
+	scheme := pls.SpanningTreeScheme{}
+	certs, err := scheme.Prove(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tamper := []struct {
+		name string
+		mod  func(*pls.TreeCert)
+	}{
+		{"wrong n", func(c *pls.TreeCert) { c.N += 3 }},
+		{"wrong dist", func(c *pls.TreeCert) { c.Dist += 1 }},
+		{"wrong size", func(c *pls.TreeCert) { c.Size += 1 }},
+		{"steal root id", func(c *pls.TreeCert) { c.RootID = c.SelfID; c.Dist = 0; c.Parent = c.SelfID }},
+		{"forged self id", func(c *pls.TreeCert) { c.SelfID += 1 }},
+	}
+	ids := g.IDs()
+	for _, tc := range tamper {
+		t.Run(tc.name, func(t *testing.T) {
+			forged := make(map[graph.ID]bits.Certificate, len(certs))
+			for id, c := range certs {
+				forged[id] = c
+			}
+			victim := ids[rng.Intn(len(ids))]
+			dec, err := pls.DecodeTreeCert(forged[victim].Reader())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Skip tampering that happens to be a no-op for the root node.
+			if dec.Dist == 0 && tc.name == "steal root id" {
+				victim = ids[(rng.Intn(len(ids)-1)+1)%len(ids)]
+				dec, err = pls.DecodeTreeCert(forged[victim].Reader())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dec.Dist == 0 {
+					t.Skip("victim is root")
+				}
+			}
+			tc.mod(dec)
+			var w bits.Writer
+			if err := dec.Encode(&w); err != nil {
+				t.Fatal(err)
+			}
+			forged[victim] = bits.FromWriter(&w)
+			out := pls.RunWithCerts(scheme, g, forged)
+			if out.AllAccept() {
+				t.Fatalf("tampered certificates accepted (%s at node %d)", tc.name, victim)
+			}
+		})
+	}
+}
+
+func TestSpanningTreeDisconnectedProverFails(t *testing.T) {
+	g := graph.NewWithNodes(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	if _, err := (pls.SpanningTreeScheme{}).Prove(g); err == nil {
+		t.Fatal("prover produced certificates for a disconnected graph")
+	}
+}
+
+func TestPathCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 10, 64} {
+		g := gen.ScrambleIDs(gen.Path(n), rng)
+		out, err := pls.Run(pls.PathScheme{}, g)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !out.AllAccept() {
+			t.Fatalf("n=%d: rejected: %v", n, out.Reasons)
+		}
+	}
+}
+
+func TestPathProverRejectsNonPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bad := []*graph.Graph{
+		gen.Cycle(6),
+		gen.Star(5),
+		gen.Grid(2, 3),
+		gen.RandomTree(10, rng), // likely branched; retry if a path
+	}
+	for i, g := range bad {
+		if g.M() == g.N()-1 {
+			isPath := true
+			for v := 0; v < g.N(); v++ {
+				if g.Degree(v) > 2 {
+					isPath = false
+				}
+			}
+			if isPath {
+				continue
+			}
+		}
+		if _, err := (pls.PathScheme{}).Prove(g); err == nil {
+			t.Fatalf("graph %d: prover accepted a non-path", i)
+		}
+	}
+}
+
+func TestPathSoundnessOnCycle(t *testing.T) {
+	// The classic attack: rank a cycle 1..n. The wrap-around edge exposes
+	// ranks (n, 1) as adjacent, which must be rejected.
+	g := gen.Cycle(8)
+	certs := make(map[graph.ID]bits.Certificate, 8)
+	for v := 0; v < 8; v++ {
+		c := pls.PathCert{SelfID: g.IDOf(v), N: 8, Rank: uint64(v + 1)}
+		var w bits.Writer
+		if err := c.Encode(&w); err != nil {
+			t.Fatal(err)
+		}
+		certs[g.IDOf(v)] = bits.FromWriter(&w)
+	}
+	out := pls.RunWithCerts(pls.PathScheme{}, g, certs)
+	if out.AllAccept() {
+		t.Fatal("cycle accepted as path")
+	}
+}
+
+func TestPathSoundnessTwoShortPathsClaim(t *testing.T) {
+	// A path of 6 where the prover claims n=3 twice (two half-paths):
+	// rank-3 and rank-1 meet in the middle and must reject.
+	g := gen.Path(6)
+	certs := make(map[graph.ID]bits.Certificate, 6)
+	for v := 0; v < 6; v++ {
+		rank := uint64(v%3 + 1)
+		c := pls.PathCert{SelfID: g.IDOf(v), N: 3, Rank: rank}
+		var w bits.Writer
+		if err := c.Encode(&w); err != nil {
+			t.Fatal(err)
+		}
+		certs[g.IDOf(v)] = bits.FromWriter(&w)
+	}
+	out := pls.RunWithCerts(pls.PathScheme{}, g, certs)
+	if out.AllAccept() {
+		t.Fatal("two glued paths accepted")
+	}
+}
+
+func TestTreeCertBitsLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prev := 0
+	for _, n := range []int{16, 256, 4096} {
+		g := gen.ScrambleIDs(gen.RandomTree(n, rng), rng)
+		out, err := pls.Run(pls.SpanningTreeScheme{}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.AllAccept() {
+			t.Fatalf("n=%d rejected", n)
+		}
+		// O(log n): quadrupling n should add only O(1) multiples of log.
+		if prev > 0 && out.MaxCertBit > 2*prev {
+			t.Fatalf("certificate growth too fast: %d -> %d bits", prev, out.MaxCertBit)
+		}
+		prev = out.MaxCertBit
+	}
+}
+
+func TestEmptyCertificatesRejected(t *testing.T) {
+	g := gen.Path(4)
+	out := pls.RunWithCerts(pls.PathScheme{}, g, nil)
+	if out.AllAccept() {
+		t.Fatal("empty certificates accepted")
+	}
+	out2 := pls.RunWithCerts(pls.SpanningTreeScheme{}, g, nil)
+	if out2.AllAccept() {
+		t.Fatal("empty certificates accepted by tree scheme")
+	}
+}
+
+func TestOutcomeStats(t *testing.T) {
+	g := gen.Path(5)
+	out, err := pls.Run(pls.PathScheme{}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Messages != 2*g.M() {
+		t.Fatalf("messages = %d, want %d", out.Messages, 2*g.M())
+	}
+	if out.MaxMsgBit != out.MaxCertBit {
+		t.Fatalf("max message bits %d != max cert bits %d", out.MaxMsgBit, out.MaxCertBit)
+	}
+	if out.AvgCertBits() <= 0 {
+		t.Fatal("avg cert bits not positive")
+	}
+}

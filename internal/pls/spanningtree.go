@@ -1,0 +1,216 @@
+package pls
+
+import (
+	"fmt"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/dist"
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+// TreeCert is the classic spanning-tree certificate (Korman–Kutten–Peleg;
+// implicitly in the self-stabilization literature): each node carries its
+// own identifier, the root identifier, the number of nodes, its hop
+// distance to the root in the tree, its parent's identifier, and its
+// subtree size. All fields fit in O(log n) bits.
+type TreeCert struct {
+	SelfID graph.ID
+	RootID graph.ID
+	N      uint64
+	Dist   uint64
+	Parent graph.ID // equals SelfID at the root
+	Size   uint64   // number of nodes in this node's subtree
+}
+
+// Encode serialises the certificate.
+func (c *TreeCert) Encode(w *bits.Writer) error {
+	for _, v := range []uint64{uint64(c.SelfID), uint64(c.RootID), c.N, c.Dist, uint64(c.Parent), c.Size} {
+		if err := w.WriteVar(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeTreeCert reads a TreeCert from r.
+func DecodeTreeCert(r *bits.Reader) (*TreeCert, error) {
+	vals := make([]uint64, 6)
+	for i := range vals {
+		v, err := r.ReadVar()
+		if err != nil {
+			return nil, fmt.Errorf("tree cert field %d: %w", i, err)
+		}
+		vals[i] = v
+	}
+	return &TreeCert{
+		SelfID: graph.ID(vals[0]),
+		RootID: graph.ID(vals[1]),
+		N:      vals[2],
+		Dist:   vals[3],
+		Parent: graph.ID(vals[4]),
+		Size:   vals[5],
+	}, nil
+}
+
+// BuildTreeCerts computes honest spanning-tree certificates for the BFS
+// tree of g rooted at the node with index rootIdx.
+func BuildTreeCerts(g *graph.Graph, rootIdx int) (map[graph.ID]*TreeCert, error) {
+	parent, distArr := g.BFSFrom(rootIdx)
+	n := g.N()
+	size := make([]uint64, n)
+	// Accumulate subtree sizes bottom-up (order nodes by decreasing dist).
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if parent[v] == -1 {
+			return nil, fmt.Errorf("pls: graph is disconnected, no spanning tree from %d", rootIdx)
+		}
+		order = append(order, v)
+	}
+	for i := range size {
+		size[i] = 1
+	}
+	// Sort by depth descending.
+	byDepth := make([][]int, 0)
+	maxD := 0
+	for _, d := range distArr {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	byDepth = make([][]int, maxD+1)
+	for _, v := range order {
+		byDepth[distArr[v]] = append(byDepth[distArr[v]], v)
+	}
+	for d := maxD; d > 0; d-- {
+		for _, v := range byDepth[d] {
+			size[parent[v]] += size[v]
+		}
+	}
+	certs := make(map[graph.ID]*TreeCert, n)
+	for v := 0; v < n; v++ {
+		certs[g.IDOf(v)] = &TreeCert{
+			SelfID: g.IDOf(v),
+			RootID: g.IDOf(rootIdx),
+			N:      uint64(n),
+			Dist:   uint64(distArr[v]),
+			Parent: g.IDOf(parent[v]),
+			Size:   size[v],
+		}
+	}
+	return certs, nil
+}
+
+// VerifyTreeCert runs the local spanning-tree checks for a node whose
+// decoded certificate is self and whose neighbors' decoded certificates
+// are nbrs. It certifies: a unique root, consistent n, parent pointers
+// decreasing the distance, and subtree sizes summing to n at the root —
+// together these prove the parent pointers form a spanning tree of the
+// (connected) network with exactly n = |V| nodes.
+func VerifyTreeCert(self *TreeCert, actualID graph.ID, degree int, nbrs []*TreeCert) error {
+	if err := VerifyTreeCertStructure(self, actualID, degree, nbrs); err != nil {
+		return err
+	}
+	// Subtree sizes: children are the neighbors pointing to this node one
+	// level deeper.
+	var childSum uint64
+	for _, nb := range nbrs {
+		if nb.Parent == self.SelfID && nb.Dist == self.Dist+1 {
+			childSum += nb.Size
+		}
+	}
+	if self.Size != childSum+1 {
+		return fmt.Errorf("tree: subtree size %d, children sum %d", self.Size, childSum)
+	}
+	if self.Dist == 0 && self.Size != self.N {
+		return fmt.Errorf("tree: root subtree size %d != n = %d", self.Size, self.N)
+	}
+	return nil
+}
+
+// VerifyTreeCertStructure runs the spanning-tree checks WITHOUT the
+// subtree-size counters. Interactive protocols (the dMAM baseline)
+// replace the counters with randomized fingerprints.
+func VerifyTreeCertStructure(self *TreeCert, actualID graph.ID, degree int, nbrs []*TreeCert) error {
+	if self.SelfID != actualID {
+		return fmt.Errorf("tree: certificate claims ID %d, node is %d", self.SelfID, actualID)
+	}
+	if self.N == 0 {
+		return fmt.Errorf("tree: claimed n = 0")
+	}
+	for _, nb := range nbrs {
+		if nb.RootID != self.RootID {
+			return fmt.Errorf("tree: neighbor disagrees on root (%d vs %d)", nb.RootID, self.RootID)
+		}
+		if nb.N != self.N {
+			return fmt.Errorf("tree: neighbor disagrees on n (%d vs %d)", nb.N, self.N)
+		}
+	}
+	if self.Dist == 0 {
+		if self.SelfID != self.RootID {
+			return fmt.Errorf("tree: distance 0 at non-root %d", self.SelfID)
+		}
+		if self.Parent != self.SelfID {
+			return fmt.Errorf("tree: root parent pointer must be self")
+		}
+	} else {
+		found := false
+		for _, nb := range nbrs {
+			if nb.SelfID == self.Parent && nb.Dist == self.Dist-1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("tree: no neighbor is parent %d at distance %d", self.Parent, self.Dist-1)
+		}
+		if self.SelfID == self.RootID {
+			return fmt.Errorf("tree: non-root node carries the root ID")
+		}
+	}
+	return nil
+}
+
+// SpanningTreeScheme certifies the whole class of connected graphs (it
+// always accepts with honest certificates) — its value is as a reusable
+// sub-proof and as the warm-up scheme of Section 2.
+type SpanningTreeScheme struct{}
+
+// Name implements Scheme.
+func (SpanningTreeScheme) Name() string { return "spanning-tree" }
+
+// Prove implements Scheme.
+func (SpanningTreeScheme) Prove(g *graph.Graph) (map[graph.ID]bits.Certificate, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("%w: empty graph", ErrNotInClass)
+	}
+	tcs, err := BuildTreeCerts(g, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotInClass, err)
+	}
+	out := make(map[graph.ID]bits.Certificate, len(tcs))
+	for id, tc := range tcs {
+		var w bits.Writer
+		if err := tc.Encode(&w); err != nil {
+			return nil, err
+		}
+		out[id] = bits.FromWriter(&w)
+	}
+	return out, nil
+}
+
+// Verify implements Scheme.
+func (SpanningTreeScheme) Verify(view dist.View) error {
+	self, err := DecodeTreeCert(view.Cert.Reader())
+	if err != nil {
+		return err
+	}
+	nbrs := make([]*TreeCert, 0, len(view.Neighbors))
+	for _, nb := range view.Neighbors {
+		tc, err := DecodeTreeCert(nb.Cert.Reader())
+		if err != nil {
+			return err
+		}
+		nbrs = append(nbrs, tc)
+	}
+	return VerifyTreeCert(self, view.ID, view.Degree, nbrs)
+}

@@ -1,0 +1,265 @@
+// Package preprocess implements the paper's remark that "in many
+// frameworks, including the one in this paper, the certificates can be
+// computed in a distributed manner by the network itself during a
+// pre-processing phase": the nodes elect the minimum identifier as
+// leader, converge-cast the full topology up a BFS tree to it, the leader
+// runs the (centralised) prover, and the certificates are disseminated
+// back down the tree. All of it runs on the synchronous engine with
+// bit-accounted messages, so experiments can report the true cost of
+// self-certification.
+package preprocess
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/dist"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+// Stats reports the cost of the preprocessing phase.
+type Stats struct {
+	Rounds    int
+	Messages  int
+	TotalBits int
+	MaxMsgBit int
+	LeaderID  graph.ID
+}
+
+// Run executes the distributed preprocessing of scheme s on network g:
+//
+//  1. BFS-tree construction from the minimum identifier (the leader) —
+//     simulated explicitly, one frontier layer per round;
+//  2. convergecast: each node forwards its incident edge list (and those
+//     received from its subtree) toward the leader;
+//  3. the leader reconstructs the topology and runs s.Prove;
+//  4. downcast: certificates travel back down the tree.
+//
+// It returns the certificates (valid for the scheme on this network),
+// the cost statistics, and an error if the graph is disconnected or the
+// prover rejects.
+func Run(s pls.Scheme, g *graph.Graph) (map[graph.ID]bits.Certificate, *Stats, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, nil, fmt.Errorf("preprocess: empty network")
+	}
+	eng := dist.NewEngine(g)
+
+	// --- Phase 1: leader election + BFS tree, layer by layer. ---
+	leader := 0
+	for v := 1; v < n; v++ {
+		if g.IDOf(v) < g.IDOf(leader) {
+			leader = v
+		}
+	}
+	// (Finding the minimum ID takes O(D) rounds by flooding; we charge a
+	// flood's worth of rounds and messages through Broadcast.)
+	if _, err := eng.Broadcast([]int{leader}); err != nil {
+		return nil, nil, fmt.Errorf("preprocess: leader flood: %w", err)
+	}
+	parent, depth := g.BFSFrom(leader)
+	maxDepth := 0
+	for v := 0; v < n; v++ {
+		if depth[v] < 0 {
+			return nil, nil, fmt.Errorf("preprocess: network is disconnected")
+		}
+		if depth[v] > maxDepth {
+			maxDepth = depth[v]
+		}
+	}
+
+	// --- Phase 2: convergecast of edge lists (deepest layers first). ---
+	// pending[v] accumulates the edge list of v's subtree, encoded as
+	// (id, id) pairs. Each round, layer d nodes send everything to their
+	// parents.
+	pending := make([][][2]graph.ID, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			if g.IDOf(v) < g.IDOf(w) {
+				pending[v] = append(pending[v], [2]graph.ID{g.IDOf(v), g.IDOf(w)})
+			}
+		}
+	}
+	encodeEdges := func(edges [][2]graph.ID) bits.Certificate {
+		var w bits.Writer
+		for _, e := range edges {
+			// Errors cannot occur for var encoding of non-negative IDs.
+			_ = w.WriteVar(uint64(e[0]))
+			_ = w.WriteVar(uint64(e[1]))
+		}
+		return bits.FromWriter(&w)
+	}
+	for d := maxDepth; d >= 1; d-- {
+		layer := d
+		inbox, err := eng.Round(func(u int) map[int]bits.Certificate {
+			if depth[u] != layer || len(pending[u]) == 0 {
+				return nil
+			}
+			return map[int]bits.Certificate{parent[u]: encodeEdges(pending[u])}
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		// Parents absorb; decode to keep the simulation honest.
+		for u := range inbox {
+			for _, msg := range inbox[u] {
+				r := msg.Cert.Reader()
+				for r.Remaining() > 0 {
+					a, err := r.ReadVar()
+					if err != nil {
+						return nil, nil, err
+					}
+					b, err := r.ReadVar()
+					if err != nil {
+						return nil, nil, err
+					}
+					pending[u] = append(pending[u], [2]graph.ID{graph.ID(a), graph.ID(b)})
+				}
+			}
+		}
+		// Senders have flushed their buffers.
+		for v := 0; v < n; v++ {
+			if depth[v] == layer {
+				pending[v] = nil
+			}
+		}
+	}
+
+	// --- Phase 3: the leader reconstructs the topology and proves. ---
+	edges := pending[leader]
+	recon := graph.New(n)
+	idSet := make(map[graph.ID]bool, n)
+	addNode := func(id graph.ID) {
+		if !idSet[id] {
+			idSet[id] = true
+			recon.MustAddNode(id)
+		}
+	}
+	// Deterministic reconstruction order. The leader always knows itself
+	// (needed for the single-node network, which has no edges).
+	addNode(g.IDOf(leader))
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		addNode(e[0])
+		addNode(e[1])
+	}
+	for _, e := range edges {
+		iu, _ := recon.IndexOf(e[0])
+		iv, _ := recon.IndexOf(e[1])
+		if !recon.HasEdge(iu, iv) {
+			recon.MustAddEdge(iu, iv)
+		}
+	}
+	if recon.N() != n || recon.M() != g.M() {
+		return nil, nil, fmt.Errorf("preprocess: leader reconstructed n=%d m=%d, want n=%d m=%d",
+			recon.N(), recon.M(), n, g.M())
+	}
+	certs, err := s.Prove(recon)
+	if err != nil {
+		return nil, nil, fmt.Errorf("preprocess: leader prover: %w", err)
+	}
+
+	// --- Phase 4: downcast certificates layer by layer. ---
+	// Each node forwards the certificates of its subtree; simulated by
+	// sending each certificate along its tree path (charged per layer).
+	assigned := make(map[graph.ID]bits.Certificate, n)
+	assigned[g.IDOf(leader)] = certs[g.IDOf(leader)]
+	// For accounting, bundle per-child subtree payloads.
+	subtreeOf := make([][]int, n) // nodes in v's subtree (by index)
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		order = append(order, v)
+	}
+	sort.Slice(order, func(i, j int) bool { return depth[order[i]] > depth[order[j]] })
+	for v := 0; v < n; v++ {
+		subtreeOf[v] = []int{v}
+	}
+	for _, v := range order {
+		if v != leader {
+			subtreeOf[parent[v]] = append(subtreeOf[parent[v]], subtreeOf[v]...)
+		}
+	}
+	for d := 0; d < maxDepth; d++ {
+		layer := d
+		inbox, err := eng.Round(func(u int) map[int]bits.Certificate {
+			if depth[u] != layer {
+				return nil
+			}
+			out := make(map[int]bits.Certificate)
+			for _, w := range g.Neighbors(u) {
+				if parent[w] != u || depth[w] != layer+1 {
+					continue
+				}
+				// Bundle all certificates for w's subtree.
+				var buf bits.Writer
+				for _, x := range subtreeOf[w] {
+					id := g.IDOf(x)
+					c := certs[id]
+					_ = buf.WriteVar(uint64(id))
+					_ = buf.WriteVar(uint64(c.Bits))
+					r := c.Reader()
+					for i := 0; i < c.Bits; i++ {
+						bit, _ := r.ReadBit()
+						buf.WriteBit(bit)
+					}
+				}
+				out[w] = bits.FromWriter(&buf)
+			}
+			return out
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		for u := range inbox {
+			for _, msg := range inbox[u] {
+				r := msg.Cert.Reader()
+				for r.Remaining() > 0 {
+					idRaw, err := r.ReadVar()
+					if err != nil {
+						return nil, nil, err
+					}
+					sz, err := r.ReadVar()
+					if err != nil {
+						return nil, nil, err
+					}
+					var w bits.Writer
+					for i := uint64(0); i < sz; i++ {
+						bit, err := r.ReadBit()
+						if err != nil {
+							return nil, nil, err
+						}
+						w.WriteBit(bit)
+					}
+					if graph.ID(idRaw) == g.IDOf(u) {
+						assigned[g.IDOf(u)] = bits.FromWriter(&w)
+					}
+				}
+			}
+		}
+	}
+	// Every node now holds its certificate (nodes deeper in the tree saw
+	// theirs pass through).
+	for v := 0; v < n; v++ {
+		id := g.IDOf(v)
+		if _, ok := assigned[id]; !ok {
+			assigned[id] = certs[id]
+		}
+		if !assigned[id].Equal(certs[id]) {
+			return nil, nil, fmt.Errorf("preprocess: node %d received a wrong certificate", id)
+		}
+	}
+	return certs, &Stats{
+		Rounds:    eng.Rounds,
+		Messages:  eng.Messages,
+		TotalBits: eng.TotalBits,
+		MaxMsgBit: eng.MaxMsgBit,
+		LeaderID:  g.IDOf(leader),
+	}, nil
+}

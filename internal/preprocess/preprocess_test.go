@@ -1,0 +1,125 @@
+package preprocess_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/core"
+	"github.com/planarcert/planarcert/internal/dist"
+	"github.com/planarcert/planarcert/internal/gen"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/pls"
+	"github.com/planarcert/planarcert/internal/preprocess"
+)
+
+func TestPreprocessProducesValidCertificates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	graphs := []*graph.Graph{
+		gen.Path(6),
+		gen.Grid(4, 5),
+		gen.ScrambleIDs(gen.StackedTriangulation(30, rng), rng),
+	}
+	scheme := core.PlanarScheme{}
+	for i, g := range graphs {
+		distCerts, stats, err := preprocess.Run(scheme, g)
+		if err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		// The self-computed certificates must be a valid proof for the
+		// original network (the prover is index-sensitive, so bit equality
+		// with a particular central run is not required — validity is).
+		out := dist.RunPLS(g, distCerts, scheme.Verify)
+		if !out.AllAccept() {
+			t.Fatalf("graph %d: self-computed certificates rejected: %v", i, out.Reasons)
+		}
+		if stats.Rounds == 0 || stats.Messages == 0 || stats.TotalBits == 0 {
+			t.Fatalf("graph %d: missing cost accounting: %+v", i, stats)
+		}
+		// The elected leader carries the minimum identifier.
+		for _, id := range g.IDs() {
+			if id < stats.LeaderID {
+				t.Fatalf("graph %d: leader %d is not the minimum ID", i, stats.LeaderID)
+			}
+		}
+	}
+}
+
+func TestPreprocessedCertificatesVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.ScrambleIDs(gen.Grid(5, 5), rng)
+	scheme := core.PlanarScheme{}
+	certs, _, err := preprocess.Run(scheme, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dist.RunPLS(g, certs, scheme.Verify)
+	if !out.AllAccept() {
+		t.Fatalf("self-computed certificates rejected: %v", out.Reasons)
+	}
+}
+
+func TestPreprocessWithOtherSchemes(t *testing.T) {
+	g := gen.Grid(3, 4)
+	for _, s := range []pls.Scheme{pls.SpanningTreeScheme{}, core.OuterplanarScheme{}} {
+		if s.Name() == "outerplanarity" {
+			g = gen.Path(10) // outerplanar input for the outerplanar scheme
+		}
+		certs, _, err := preprocess.Run(s, g)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		out := dist.RunPLS(g, certs, s.Verify)
+		if !out.AllAccept() {
+			t.Fatalf("%s rejected: %v", s.Name(), out.Reasons)
+		}
+	}
+}
+
+func TestPreprocessErrors(t *testing.T) {
+	if _, _, err := preprocess.Run(core.PlanarScheme{}, graph.New(0)); err == nil {
+		t.Fatal("empty network accepted")
+	}
+	disc := graph.NewWithNodes(4)
+	disc.MustAddEdge(0, 1)
+	if _, _, err := preprocess.Run(core.PlanarScheme{}, disc); err == nil {
+		t.Fatal("disconnected network accepted")
+	}
+	if _, _, err := preprocess.Run(core.PlanarScheme{}, gen.Complete(5)); err == nil {
+		t.Fatal("leader prover certified K5 as planar")
+	}
+}
+
+func TestPreprocessCostScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	small, err := preprocessCost(gen.StackedTriangulation(20, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := preprocessCost(gen.StackedTriangulation(200, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convergecast of Θ(m log n) bits: the large instance must cost more.
+	if large.TotalBits <= small.TotalBits {
+		t.Fatalf("cost did not scale: %d vs %d bits", small.TotalBits, large.TotalBits)
+	}
+}
+
+func preprocessCost(g *graph.Graph) (*preprocess.Stats, error) {
+	_, stats, err := preprocess.Run(core.PlanarScheme{}, g)
+	return stats, err
+}
+
+func TestPreprocessSingleNode(t *testing.T) {
+	g := graph.NewWithNodes(1)
+	certs, stats, err := preprocess.Run(core.PlanarScheme{}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(certs) != 1 {
+		t.Fatalf("certs = %d", len(certs))
+	}
+	if stats.LeaderID != 0 {
+		t.Fatalf("leader = %d", stats.LeaderID)
+	}
+}

@@ -1,0 +1,421 @@
+// Package planarcert is a library for compact distributed certification
+// of planar graphs, implementing Feuilloley, Fraigniaud, Rapaport,
+// Rémila, Montealegre and Todinca, "Compact Distributed Certification of
+// Planar Graphs" (PODC 2020, arXiv:2005.05863).
+//
+// The library provides:
+//
+//   - proof-labeling schemes (PLS) with O(log n)-bit certificates for
+//     planarity (Theorem 1), path-outerplanarity (Lemma 2),
+//     non-planarity (the folklore Kuratowski scheme of Section 2), and
+//     outerplanarity (the conclusion's extension);
+//   - a linear-time planarity test with combinatorial-embedding
+//     extraction and Kuratowski-subgraph witnesses;
+//   - a synchronous CONGEST-style network simulator in which the 1-round
+//     verification executes;
+//   - the lower-bound constructions of Theorem 2 and the executable
+//     pigeonhole attack (internal/lowerbound);
+//   - a dMAM interactive-proof baseline in the style of Naor, Parter and
+//     Yogev (internal/interactive).
+//
+// Quick start:
+//
+//	net := planarcert.NewNetwork()
+//	for id := planarcert.NodeID(0); id < 4; id++ {
+//		net.AddNode(id)
+//	}
+//	net.AddEdge(0, 1) // ... build any connected graph
+//	certs, err := planarcert.Certify(net, planarcert.SchemePlanarity)
+//	report := planarcert.Verify(net, planarcert.SchemePlanarity, certs)
+//	fmt.Println(report.Accepted, report.MaxCertBits)
+package planarcert
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/core"
+	"github.com/planarcert/planarcert/internal/dist"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/interactive"
+	"github.com/planarcert/planarcert/internal/planarity"
+	"github.com/planarcert/planarcert/internal/pls"
+	"github.com/planarcert/planarcert/internal/preprocess"
+)
+
+// NodeID identifies a node; identifiers are unique and drawn from a range
+// polynomial in the network size, as in the paper's model.
+type NodeID = graph.ID
+
+// Certificate is a bit-exact certificate as assigned by a prover.
+type Certificate = bits.Certificate
+
+// Certificates maps every node to its certificate.
+type Certificates map[NodeID]Certificate
+
+// Network is an undirected connected network under certification.
+type Network struct {
+	g *graph.Graph
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return &Network{g: graph.New(0)} }
+
+// AddNode adds a node with the given identifier.
+func (n *Network) AddNode(id NodeID) error {
+	_, err := n.g.AddNode(id)
+	return err
+}
+
+// AddEdge adds an undirected edge between two existing nodes, given by
+// their identifiers.
+func (n *Network) AddEdge(a, b NodeID) error {
+	ia, ok1 := n.g.IndexOf(a)
+	ib, ok2 := n.g.IndexOf(b)
+	if !ok1 || !ok2 {
+		return fmt.Errorf("planarcert: unknown node in edge {%d,%d}", a, b)
+	}
+	return n.g.AddEdge(ia, ib)
+}
+
+// RemoveEdge removes the edge between a and b if present.
+func (n *Network) RemoveEdge(a, b NodeID) bool {
+	ia, ok1 := n.g.IndexOf(a)
+	ib, ok2 := n.g.IndexOf(b)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return n.g.RemoveEdge(ia, ib)
+}
+
+// HasEdge reports whether the edge {a, b} exists.
+func (n *Network) HasEdge(a, b NodeID) bool {
+	ia, ok1 := n.g.IndexOf(a)
+	ib, ok2 := n.g.IndexOf(b)
+	return ok1 && ok2 && n.g.HasEdge(ia, ib)
+}
+
+// N returns the number of nodes.
+func (n *Network) N() int { return n.g.N() }
+
+// M returns the number of edges.
+func (n *Network) M() int { return n.g.M() }
+
+// Connected reports whether the network is connected.
+func (n *Network) Connected() bool { return n.g.Connected() }
+
+// IDs returns all node identifiers in insertion order.
+func (n *Network) IDs() []NodeID { return n.g.IDs() }
+
+// Neighbors returns the identifiers of a node's neighbors, sorted.
+func (n *Network) Neighbors(id NodeID) []NodeID {
+	idx, ok := n.g.IndexOf(id)
+	if !ok {
+		return nil
+	}
+	out := make([]NodeID, 0, n.g.Degree(idx))
+	for _, v := range n.g.Neighbors(idx) {
+		out = append(out, n.g.IDOf(v))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy.
+func (n *Network) Clone() *Network { return &Network{g: n.g.Clone()} }
+
+// FromGraph wraps an internal graph (used by the cmd tools and tests
+// inside this module).
+func FromGraph(g *graph.Graph) *Network { return &Network{g: g} }
+
+// Graph exposes the underlying graph to sibling packages in this module.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// IsPlanar tests planarity (left-right algorithm, O(n)).
+func (n *Network) IsPlanar() bool { return planarity.IsPlanar(n.g) }
+
+// IsOuterplanar tests outerplanarity via the apex characterisation.
+func (n *Network) IsOuterplanar() bool { return planarity.Outerplanar(n.g) }
+
+// KuratowskiWitness is a subdivision of K5 or K3,3 proving non-planarity,
+// expressed over node identifiers.
+type KuratowskiWitness struct {
+	Kind     string // "K5" or "K3,3"
+	Branch   []NodeID
+	Paths    [][]NodeID
+	EdgeList [][2]NodeID
+}
+
+// Kuratowski extracts a non-planarity witness; it returns an error if the
+// network is planar.
+func (n *Network) Kuratowski() (*KuratowskiWitness, error) {
+	w, err := planarity.Kuratowski(n.g)
+	if err != nil {
+		return nil, err
+	}
+	out := &KuratowskiWitness{Kind: w.Kind.String()}
+	for _, b := range w.Branch {
+		out.Branch = append(out.Branch, n.g.IDOf(b))
+	}
+	for _, p := range w.Paths {
+		ids := make([]NodeID, len(p))
+		for i, v := range p {
+			ids[i] = n.g.IDOf(v)
+		}
+		out.Paths = append(out.Paths, ids)
+	}
+	for _, e := range w.Edges {
+		out.EdgeList = append(out.EdgeList, [2]NodeID{n.g.IDOf(e.U), n.g.IDOf(e.V)})
+	}
+	return out, nil
+}
+
+// SchemeName selects one of the proof-labeling schemes.
+type SchemeName string
+
+// Available schemes.
+const (
+	SchemePlanarity       SchemeName = "planarity"
+	SchemeNonPlanarity    SchemeName = "non-planarity"
+	SchemeOuterplanarity  SchemeName = "outerplanarity"
+	SchemePathOuterplanar SchemeName = "path-outerplanar"
+	SchemeSpanningTree    SchemeName = "spanning-tree"
+	SchemePath            SchemeName = "path"
+)
+
+// ErrUnknownScheme is returned for unrecognised scheme names.
+var ErrUnknownScheme = errors.New("planarcert: unknown scheme")
+
+// Schemes lists the available scheme names.
+func Schemes() []SchemeName {
+	return []SchemeName{
+		SchemePlanarity, SchemeNonPlanarity, SchemeOuterplanarity,
+		SchemePathOuterplanar, SchemeSpanningTree, SchemePath,
+	}
+}
+
+func schemeByName(name SchemeName) (pls.Scheme, error) {
+	switch name {
+	case SchemePlanarity:
+		return core.PlanarScheme{}, nil
+	case SchemeNonPlanarity:
+		return core.NonPlanarScheme{}, nil
+	case SchemeOuterplanarity:
+		return core.OuterplanarScheme{}, nil
+	case SchemePathOuterplanar:
+		return core.POScheme{}, nil
+	case SchemeSpanningTree:
+		return pls.SpanningTreeScheme{}, nil
+	case SchemePath:
+		return pls.PathScheme{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, name)
+	}
+}
+
+// Certify runs the honest prover of the named scheme on the network.
+// For networks outside the scheme's class it returns an error wrapping
+// ErrNotInClass semantics.
+func Certify(n *Network, name SchemeName) (Certificates, error) {
+	s, err := schemeByName(name)
+	if err != nil {
+		return nil, err
+	}
+	certs, err := s.Prove(n.g)
+	if err != nil {
+		return nil, err
+	}
+	return Certificates(certs), nil
+}
+
+// Report summarises one verification round.
+type Report struct {
+	Accepted    bool
+	Rejecting   []NodeID
+	Reasons     map[NodeID]string
+	MaxCertBits int
+	AvgCertBits float64
+	Messages    int
+	MaxMsgBits  int
+}
+
+func reportOf(out *dist.Outcome) *Report {
+	return &Report{
+		Accepted:    out.AllAccept(),
+		Rejecting:   out.Rejecting,
+		Reasons:     out.Reasons,
+		MaxCertBits: out.MaxCertBit,
+		AvgCertBits: out.AvgCertBits(),
+		Messages:    out.Messages,
+		MaxMsgBits:  out.MaxMsgBit,
+	}
+}
+
+// Verify runs the named scheme's 1-round distributed verification with
+// the given (possibly adversarial) certificates.
+func Verify(n *Network, name SchemeName, certs Certificates) (*Report, error) {
+	s, err := schemeByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return reportOf(dist.RunPLS(n.g, certs, s.Verify)), nil
+}
+
+// CertifyAndVerify is the honest end-to-end pipeline.
+func CertifyAndVerify(n *Network, name SchemeName) (*Report, error) {
+	certs, err := Certify(n, name)
+	if err != nil {
+		return nil, err
+	}
+	return Verify(n, name, certs)
+}
+
+// Broadcast floods an alarm from the given nodes and returns the number
+// of synchronous rounds until every node is informed.
+func (n *Network) Broadcast(sources []NodeID) (int, error) {
+	idxs := make([]int, 0, len(sources))
+	for _, id := range sources {
+		idx, ok := n.g.IndexOf(id)
+		if !ok {
+			return 0, fmt.Errorf("planarcert: unknown source %d", id)
+		}
+		idxs = append(idxs, idx)
+	}
+	return dist.NewEngine(n.g).Broadcast(idxs)
+}
+
+// PreprocessReport summarises the cost of self-certification: the rounds,
+// messages and bits the network spends computing its own certificates
+// (leader election, topology convergecast, central proving at the leader,
+// certificate downcast) — the paper's remark that no external prover is
+// needed.
+type PreprocessReport struct {
+	Rounds     int
+	Messages   int
+	TotalBits  int
+	MaxMsgBits int
+	LeaderID   NodeID
+}
+
+// SelfCertify lets the network compute its own certificates in a
+// distributed preprocessing phase, then returns them with the cost
+// report. The certificates verify exactly like Certify's.
+func SelfCertify(n *Network, name SchemeName) (Certificates, *PreprocessReport, error) {
+	s, err := schemeByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	certs, stats, err := preprocess.Run(s, n.g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Certificates(certs), &PreprocessReport{
+		Rounds:     stats.Rounds,
+		Messages:   stats.Messages,
+		TotalBits:  stats.TotalBits,
+		MaxMsgBits: stats.MaxMsgBit,
+		LeaderID:   stats.LeaderID,
+	}, nil
+}
+
+// DMAMReport summarises a dMAM interactive-proof execution for
+// comparison with the PLS (Experiment E2).
+type DMAMReport struct {
+	Accepted     bool
+	Interactions int
+	RandomBits   int
+	MaxCertBits  int
+	SoundnessErr float64
+}
+
+// RunPlanarityDMAM executes the interactive baseline with the given seed
+// for Arthur's challenge.
+func RunPlanarityDMAM(n *Network, seed int64) (*DMAMReport, error) {
+	st, err := interactive.Run(interactive.PlanarityDMAM{}, n.g, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &DMAMReport{
+		Accepted:     st.Outcome.AllAccept(),
+		Interactions: st.Interactions,
+		RandomBits:   st.RandomBits,
+		MaxCertBits:  st.MaxCertBit,
+		SoundnessErr: st.SoundnessErr,
+	}, nil
+}
+
+// ParseEdgeList reads a network from a text edge list: one "u v" pair of
+// integer identifiers per line; blank lines and lines starting with '#'
+// are ignored; isolated nodes can be declared on a line of their own.
+func ParseEdgeList(r io.Reader) (*Network, error) {
+	n := NewNetwork()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		ids := make([]NodeID, 0, 2)
+		for _, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("planarcert: line %d: %w", line, err)
+			}
+			ids = append(ids, NodeID(v))
+		}
+		switch len(ids) {
+		case 1:
+			if _, ok := n.g.IndexOf(ids[0]); !ok {
+				if err := n.AddNode(ids[0]); err != nil {
+					return nil, err
+				}
+			}
+		case 2:
+			for _, id := range ids {
+				if _, ok := n.g.IndexOf(id); !ok {
+					if err := n.AddNode(id); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if !n.HasEdge(ids[0], ids[1]) {
+				if err := n.AddEdge(ids[0], ids[1]); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("planarcert: line %d: want 1 or 2 ids, got %d", line, len(ids))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// WriteEdgeList writes the network in the ParseEdgeList format.
+func (n *Network) WriteEdgeList(w io.Writer) error {
+	for _, e := range n.g.Edges() {
+		if _, err := fmt.Fprintf(w, "%d %d\n", n.g.IDOf(e.U), n.g.IDOf(e.V)); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < n.g.N(); v++ {
+		if n.g.Degree(v) == 0 {
+			if _, err := fmt.Fprintf(w, "%d\n", n.g.IDOf(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package planarcert_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/gen"
+)
+
+func buildGrid(t *testing.T, rows, cols int) *planarcert.Network {
+	t.Helper()
+	return planarcert.FromGraph(gen.Grid(rows, cols))
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	net := buildGrid(t, 4, 4)
+	report, err := planarcert.CertifyAndVerify(net, planarcert.SchemePlanarity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Accepted {
+		t.Fatalf("grid rejected: %v", report.Reasons)
+	}
+	if report.MaxCertBits == 0 || report.Messages != 2*net.M() {
+		t.Fatalf("report stats: %+v", report)
+	}
+}
+
+func TestFacadeNetworkBuilding(t *testing.T) {
+	net := planarcert.NewNetwork()
+	for id := planarcert.NodeID(10); id < 14; id++ {
+		if err := net.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.AddNode(10); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if err := net.AddEdge(10, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddEdge(10, 99); err == nil {
+		t.Fatal("edge to unknown node accepted")
+	}
+	if !net.HasEdge(11, 10) {
+		t.Fatal("HasEdge")
+	}
+	if got := net.Neighbors(10); len(got) != 1 || got[0] != 11 {
+		t.Fatalf("Neighbors = %v", got)
+	}
+	if net.RemoveEdge(10, 11) != true || net.M() != 0 {
+		t.Fatal("RemoveEdge")
+	}
+	if net.Connected() {
+		t.Fatal("disconnected network reported connected")
+	}
+}
+
+func TestFacadeAllSchemes(t *testing.T) {
+	if len(planarcert.Schemes()) != 6 {
+		t.Fatalf("Schemes() = %v", planarcert.Schemes())
+	}
+	if _, err := planarcert.Certify(planarcert.NewNetwork(), "bogus"); !errors.Is(err, planarcert.ErrUnknownScheme) {
+		t.Fatalf("unknown scheme error = %v", err)
+	}
+	if _, err := planarcert.Verify(planarcert.NewNetwork(), "bogus", nil); !errors.Is(err, planarcert.ErrUnknownScheme) {
+		t.Fatalf("unknown scheme error = %v", err)
+	}
+}
+
+func TestFacadeKuratowski(t *testing.T) {
+	net := planarcert.FromGraph(gen.Complete(5))
+	if net.IsPlanar() {
+		t.Fatal("K5 planar?")
+	}
+	w, err := net.Kuratowski()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Kind != "K5" || len(w.Branch) != 5 {
+		t.Fatalf("witness = %+v", w)
+	}
+	if _, err := buildGrid(t, 2, 2).Kuratowski(); err == nil {
+		t.Fatal("witness extracted from planar graph")
+	}
+}
+
+func TestFacadeOuterplanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := planarcert.FromGraph(gen.RandomOuterplanar(12, 0.5, rng))
+	if !net.IsOuterplanar() {
+		t.Fatal("outerplanar graph rejected")
+	}
+	rep, err := planarcert.CertifyAndVerify(net, planarcert.SchemeOuterplanarity)
+	if err != nil || !rep.Accepted {
+		t.Fatalf("outerplanarity: %v %v", err, rep)
+	}
+	if buildGrid(t, 3, 3).IsOuterplanar() {
+		t.Fatal("grid outerplanar?")
+	}
+}
+
+func TestFacadeCrossVerification(t *testing.T) {
+	// Certificates for one scheme must not pass as another's.
+	net := buildGrid(t, 3, 3)
+	certs, err := planarcert.Certify(net, planarcert.SchemeSpanningTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := planarcert.Verify(net, planarcert.SchemePlanarity, certs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Fatal("spanning-tree certificates accepted as planarity proof")
+	}
+}
+
+func TestFacadeBroadcast(t *testing.T) {
+	net := buildGrid(t, 4, 4)
+	rounds, err := net.Broadcast([]planarcert.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 6 {
+		t.Fatalf("broadcast rounds = %d", rounds)
+	}
+	if _, err := net.Broadcast([]planarcert.NodeID{999}); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestFacadeDMAM(t *testing.T) {
+	net := buildGrid(t, 3, 4)
+	rep, err := planarcert.RunPlanarityDMAM(net, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted || rep.Interactions != 3 || rep.RandomBits != 61 {
+		t.Fatalf("dMAM report = %+v", rep)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	in := "# comment\n1 2\n2 3\n\n3 1\n7\n"
+	net, err := planarcert.ParseEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 4 || net.M() != 3 {
+		t.Fatalf("parsed n=%d m=%d", net.N(), net.M())
+	}
+	var buf bytes.Buffer
+	if err := net.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := planarcert.ParseEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.N() != 4 || again.M() != 3 {
+		t.Fatalf("round trip n=%d m=%d", again.N(), again.M())
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	if _, err := planarcert.ParseEdgeList(strings.NewReader("1 2 3\n")); err == nil {
+		t.Fatal("3-field line accepted")
+	}
+	if _, err := planarcert.ParseEdgeList(strings.NewReader("a b\n")); err == nil {
+		t.Fatal("non-integer accepted")
+	}
+}
+
+func TestFacadeSelfCertify(t *testing.T) {
+	net := buildGrid(t, 4, 4)
+	certs, rep, err := planarcert.SelfCertify(net, planarcert.SchemePlanarity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds == 0 || rep.TotalBits == 0 || rep.LeaderID != 0 {
+		t.Fatalf("preprocess report = %+v", rep)
+	}
+	out, err := planarcert.Verify(net, planarcert.SchemePlanarity, certs)
+	if err != nil || !out.Accepted {
+		t.Fatalf("self-certified certificates rejected: %v", err)
+	}
+	if _, _, err := planarcert.SelfCertify(net, "bogus"); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestFacadeClone(t *testing.T) {
+	net := buildGrid(t, 2, 2)
+	c := net.Clone()
+	c.RemoveEdge(0, 1)
+	if !net.HasEdge(0, 1) {
+		t.Fatal("clone shares state")
+	}
+}
