@@ -289,6 +289,77 @@ func BenchmarkVerifierSingleNode(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineParallel sweeps the verification engine across network
+// sizes and execution modes on identical inputs: the per-node work is
+// the planarity verifier of Theorem 1, so the sweep isolates how well
+// the sharded worker pool scales the embarrassingly parallel round.
+// Engines are constructed once per sub-benchmark, so the steady-state
+// iterations also expose the zero-copy layout reuse in allocs/op.
+func BenchmarkEngineParallel(b *testing.B) {
+	scheme := core.PlanarScheme{}
+	for _, n := range []int{64, 256, 1024, 4096, 16384} {
+		rng := rand.New(rand.NewSource(11))
+		g := gen.StackedTriangulation(n, rng)
+		certs, err := scheme.Prove(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		modes := []struct {
+			name string
+			opts []dist.Option
+		}{
+			{"seq", []dist.Option{dist.Sequential()}},
+			{"par", []dist.Option{dist.Parallel(0)}},
+		}
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				eng := dist.NewEngine(g, mode.opts...)
+				eng.RunPLS(certs, scheme.Verify) // warm the CSR layout
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out := eng.RunPLS(certs, scheme.Verify)
+					if !out.AllAccept() {
+						b.Fatalf("rejected: %v", out.Reasons)
+					}
+				}
+				b.ReportMetric(float64(n)/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e9, "nodes/s")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineOverhead isolates the simulator itself: a no-op
+// verifier leaves only view assembly, scheduling and reduction.
+func BenchmarkEngineOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	g := gen.StackedTriangulation(4096, rng)
+	certs := map[planarcert.NodeID]planarcert.Certificate{}
+	for _, id := range g.IDs() {
+		certs[id] = planarcert.Certificate{Data: []byte{0xAB}, Bits: 8}
+	}
+	verify := func(dist.View) error { return nil }
+	for _, mode := range []struct {
+		name string
+		opts []dist.Option
+	}{
+		{"seq", []dist.Option{dist.Sequential()}},
+		{"par", []dist.Option{dist.Parallel(0)}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := dist.NewEngine(g, mode.opts...)
+			eng.RunPLS(certs, verify) // warm the CSR layout
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if out := eng.RunPLS(certs, verify); !out.AllAccept() {
+					b.Fatal("no-op verifier rejected")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFingerprint measures the dMAM field arithmetic.
 func BenchmarkFingerprint(b *testing.B) {
 	ranks := make([]int, 1000)

@@ -1,0 +1,3 @@
+module github.com/planarcert/planarcert
+
+go 1.24

@@ -266,8 +266,11 @@ func (NonPlanarScheme) Verify(view dist.View) error {
 	if err := pls.VerifyTreeCert(&self.Tree, view.ID, view.Degree, treeNbrs); err != nil {
 		return err
 	}
-	// Global consistency of the witness description.
-	for id, nc := range nbrs {
+	// Global consistency of the witness description (in view order, so a
+	// node with several disagreeing neighbors reports the same one every
+	// run).
+	for _, nb := range view.Neighbors {
+		id, nc := nb.ID, nbrs[nb.ID]
 		if nc.K5 != self.K5 {
 			return fmt.Errorf("core: neighbor %d disagrees on witness kind", id)
 		}

@@ -417,8 +417,9 @@ func verifyPlanarCoreOpts(view dist.View, withSizes bool) (*planarVerifyState, e
 		}
 		edgeCerts[other] = append(edgeCerts[other], ec)
 	}
-	for nbID, nc := range nbrs {
-		for _, ec := range nc.Edges {
+	for _, nb := range view.Neighbors {
+		nbID := nb.ID
+		for _, ec := range nbrs[nbID].Edges {
 			if !ec.Involves(nbID) {
 				return nil, fmt.Errorf("core: neighbor %d stores certificate for a foreign edge", nbID)
 			}
@@ -428,10 +429,10 @@ func verifyPlanarCoreOpts(view dist.View, withSizes bool) (*planarVerifyState, e
 			edgeCerts[nbID] = append(edgeCerts[nbID], ec)
 		}
 	}
-	for nbID := range nbrs {
-		if len(edgeCerts[nbID]) != 1 {
+	for _, nb := range view.Neighbors {
+		if len(edgeCerts[nb.ID]) != 1 {
 			return nil, fmt.Errorf("core: edge {%d,%d} has %d certificates, want exactly 1",
-				myID, nbID, len(edgeCerts[nbID]))
+				myID, nb.ID, len(edgeCerts[nb.ID]))
 		}
 	}
 
@@ -457,8 +458,11 @@ func verifyPlanarCoreOpts(view dist.View, withSizes bool) (*planarVerifyState, e
 	var parentEC *EdgeCert
 	iAmRoot := self.Tree.Dist == 0
 
-	for nbID, ecs := range edgeCerts {
-		ec := ecs[0]
+	// Iterate incident edges in view order (not map order) so rejection
+	// reasons are deterministic across runs and execution modes.
+	for _, nb := range view.Neighbors {
+		nbID := nb.ID
+		ec := edgeCerts[nbID][0]
 		nbCert := nbrs[nbID]
 		nbIsMyChild := nbCert.Tree.Parent == myID && nbCert.Tree.Dist == self.Tree.Dist+1
 		nbIsMyParent := self.Tree.Parent == nbID
@@ -488,10 +492,11 @@ func verifyPlanarCoreOpts(view dist.View, withSizes bool) (*planarVerifyState, e
 				return nil, fmt.Errorf("core: rank span [%d,%d] does not match subtree size %d",
 					ec.CMin, ec.CMax, childSize)
 			}
-			for rank, iv := range map[int]Interval{
-				ec.PA: ec.IPA, ec.CMin: ec.ICMin, ec.CMax: ec.ICMax, ec.PB: ec.IPB,
-			} {
-				if err := claim(rank, iv); err != nil {
+			for _, ri := range [4]struct {
+				rank int
+				iv   Interval
+			}{{ec.PA, ec.IPA}, {ec.CMin, ec.ICMin}, {ec.CMax, ec.ICMax}, {ec.PB, ec.IPB}} {
+				if err := claim(ri.rank, ri.iv); err != nil {
 					return nil, err
 				}
 			}
@@ -560,10 +565,12 @@ func verifyPlanarCoreOpts(view dist.View, withSizes bool) (*planarVerifyState, e
 		copySet[r] = j
 	}
 
-	// Cotree neighbors per copy.
+	// Cotree neighbors per copy, gathered in view order so the simulated
+	// PO views (and any rejection they produce) are deterministic.
 	cotreePerCopy := make(map[int][]PONeighbor)
-	for nbID, ecs := range edgeCerts {
-		ec := ecs[0]
+	for _, nb := range view.Neighbors {
+		nbID := nb.ID
+		ec := edgeCerts[nbID][0]
 		if ec.IsTree {
 			continue
 		}

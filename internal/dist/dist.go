@@ -1,0 +1,102 @@
+// Package dist is the synchronous CONGEST-style simulator in which the
+// paper's 1-round verification executes, built as the repo's performance
+// core.
+//
+// The verification of a proof-labeling scheme is embarrassingly parallel
+// by construction: every node decides accept/reject from its own 1-round
+// view (its identifier, degree and certificate, plus each neighbor's
+// identifier and certificate) with no further communication. The Engine
+// exploits that:
+//
+//   - the topology and certificate layout are precomputed once into a
+//     CSR-style adjacency (offsets + neighbor arena), so each node's View
+//     is a zero-copy slice of shared arrays — no per-node allocation;
+//   - RunPLS fans the per-node verifications across a worker pool over
+//     fixed-size index shards and reduces the per-node results into a
+//     single Outcome in one deterministic pass;
+//   - NewEngine takes options (Sequential, Parallel, ShardSize, FailFast)
+//     so experiments can compare execution modes on identical inputs.
+//
+// Sequential and parallel exhaustive runs produce byte-identical
+// Outcomes: workers write each node's verdict into a slot indexed by the
+// node, and the reduction walks slots in index order.
+//
+// The same Engine also simulates general synchronous message-passing
+// (Round, Broadcast) with bit-exact accounting, used by the distributed
+// preprocessing phase.
+package dist
+
+import (
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+// NeighborCert is one neighbor's contribution to a node's 1-round view:
+// its identifier and the certificate it was assigned.
+type NeighborCert struct {
+	ID   graph.ID
+	Cert bits.Certificate
+}
+
+// View is everything a node sees when it runs the 1-round verifier: its
+// own identifier, degree and certificate, and one NeighborCert per
+// neighbor. Views handed out by the Engine alias shared arrays; verifiers
+// must not mutate Neighbors or retain it past the call.
+type View struct {
+	ID        graph.ID
+	Degree    int
+	Cert      bits.Certificate
+	Neighbors []NeighborCert
+}
+
+// Outcome summarises one verification round over the whole network.
+type Outcome struct {
+	// N is the number of nodes that ran the verifier.
+	N int
+	// Rejecting lists the rejecting nodes in node-index order (empty on
+	// global acceptance). Under FailFast it holds at least one rejecting
+	// node but may omit later ones.
+	Rejecting []graph.ID
+	// Reasons maps each rejecting node to its verifier's error.
+	Reasons map[graph.ID]string
+	// MaxCertBit is the largest certificate, in bits (the paper's
+	// complexity measure).
+	MaxCertBit int
+	// TotalCertBits is the sum of all certificate sizes.
+	TotalCertBits int
+	// Messages counts the certificate messages exchanged in the round:
+	// every node sends its certificate to every neighbor, so 2m in total.
+	Messages int
+	// MaxMsgBit is the largest message, in bits.
+	MaxMsgBit int
+}
+
+// AllAccept reports global acceptance: no node rejected.
+func (o *Outcome) AllAccept() bool { return len(o.Rejecting) == 0 }
+
+// AvgCertBits returns the mean certificate size in bits.
+func (o *Outcome) AvgCertBits() float64 {
+	if o.N == 0 {
+		return 0
+	}
+	return float64(o.TotalCertBits) / float64(o.N)
+}
+
+// FirstRejection returns the first rejecting node (in node-index order)
+// and its reason; ok is false if every node accepted.
+func (o *Outcome) FirstRejection() (id graph.ID, reason string, ok bool) {
+	if len(o.Rejecting) == 0 {
+		return 0, "", false
+	}
+	id = o.Rejecting[0]
+	return id, o.Reasons[id], true
+}
+
+// RunPLS executes one verification round of a proof-labeling scheme on g
+// with the given (possibly adversarial) certificate assignment: every
+// node runs verify on its 1-round view. Nodes missing from certs see a
+// zero-length certificate. It is the package-level convenience around
+// NewEngine(g).RunPLS for one-shot callers.
+func RunPLS(g *graph.Graph, certs map[graph.ID]bits.Certificate, verify func(View) error) *Outcome {
+	return NewEngine(g).RunPLS(certs, verify)
+}

@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+// layout is the CSR-style snapshot of a graph plus per-run scratch
+// arrays, precomputed so that each node's View is assembled zero-copy
+// from shared slices.
+//
+// The adjacency is flattened the usual CSR way: node u's neighbors live
+// at positions offsets[u]..offsets[u+1] of nbr (indices) and arena
+// (identifier + certificate pairs). Neighbor identifiers never change,
+// so they are written once at build time; only the Cert fields of the
+// arena are refreshed per RunPLS, one O(2m) pass.
+type layout struct {
+	n       int
+	offsets []int32        // len n+1; prefix sums of degrees
+	nbr     []int32        // len 2m; CSR neighbor indices
+	ids     []graph.ID     // node index -> identifier
+	arena   []NeighborCert // len 2m; CSR-aligned neighbor views
+
+	// Per-run scratch, reused across RunPLS calls on the same Engine so
+	// repeated verification (benchmarks, interactive rounds) allocates
+	// nothing beyond what the verifier itself allocates.
+	certs []bits.Certificate // node index -> certificate this run
+	errs  []error            // node index -> verdict this run (nil = accept)
+}
+
+func newLayout(g *graph.Graph) *layout {
+	n := g.N()
+	lay := &layout{
+		n:       n,
+		offsets: make([]int32, n+1),
+		ids:     make([]graph.ID, n),
+		certs:   make([]bits.Certificate, n),
+		errs:    make([]error, n),
+	}
+	for u := 0; u < n; u++ {
+		lay.offsets[u+1] = lay.offsets[u] + int32(g.Degree(u))
+	}
+	m2 := int(lay.offsets[n])
+	lay.nbr = make([]int32, 0, m2)
+	lay.arena = make([]NeighborCert, m2)
+	for u := 0; u < n; u++ {
+		lay.ids[u] = g.IDOf(u)
+		for _, v := range g.Neighbors(u) {
+			lay.arena[len(lay.nbr)].ID = g.IDOf(v)
+			lay.nbr = append(lay.nbr, int32(v))
+		}
+	}
+	return lay
+}
+
+// degree returns node u's degree.
+func (lay *layout) degree(u int) int {
+	return int(lay.offsets[u+1] - lay.offsets[u])
+}
+
+// view assembles node u's 1-round view from the shared arrays. The
+// three-index slice expression caps the neighbor slice so a verifier
+// appending to it cannot clobber the next node's region.
+func (lay *layout) view(u int) View {
+	lo, hi := lay.offsets[u], lay.offsets[u+1]
+	return View{
+		ID:        lay.ids[u],
+		Degree:    int(hi - lo),
+		Cert:      lay.certs[u],
+		Neighbors: lay.arena[lo:hi:hi],
+	}
+}

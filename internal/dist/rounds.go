@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/graph"
+)
+
+// Message is one delivery of a synchronous round: the sender (by index
+// and identifier) and the payload it sent.
+type Message struct {
+	From   int
+	FromID graph.ID
+	Cert   bits.Certificate
+}
+
+// Round executes one synchronous CONGEST round: send(u) returns the
+// messages node u emits this round, keyed by destination node index.
+// Destinations must be neighbors of u (the CONGEST model has no other
+// links). It returns every node's inbox, with deliveries ordered by
+// sender index, and updates the engine's cost counters.
+func (e *Engine) Round(send func(u int) map[int]bits.Certificate) ([][]Message, error) {
+	n := e.g.N()
+	inbox := make([][]Message, n)
+	// Stage the cost accounting and commit it only if the whole round is
+	// valid, so a failed round never pollutes the engine's counters.
+	var msgs, sentBits, maxBit int
+	for u := 0; u < n; u++ {
+		out := send(u)
+		if len(out) == 0 {
+			continue
+		}
+		// Map iteration order is randomised; sort destinations so the
+		// simulation (and its error messages) stay deterministic.
+		targets := make([]int, 0, len(out))
+		for v := range out {
+			targets = append(targets, v)
+		}
+		sort.Ints(targets)
+		for _, v := range targets {
+			if v < 0 || v >= n || !e.g.HasEdge(u, v) {
+				return nil, fmt.Errorf("dist: node %d sent to non-neighbor %d", u, v)
+			}
+			c := out[v]
+			inbox[v] = append(inbox[v], Message{From: u, FromID: e.g.IDOf(u), Cert: c})
+			msgs++
+			sentBits += c.Bits
+			if c.Bits > maxBit {
+				maxBit = c.Bits
+			}
+		}
+	}
+	e.Rounds++
+	e.Messages += msgs
+	e.TotalBits += sentBits
+	if maxBit > e.MaxMsgBit {
+		e.MaxMsgBit = maxBit
+	}
+	return inbox, nil
+}
+
+// Broadcast floods a 1-bit alarm from the given source indices and
+// returns the number of synchronous rounds until every node is informed
+// (0 if the sources already cover the network). Each round, the nodes
+// first informed in the previous round relay the alarm to all their
+// neighbors — so every node relays at most once, and nodes informed in
+// the final round never relay — and the flood's messages and bits are
+// charged to the engine's counters. It fails on an
+// empty network, an unknown source, or a network the flood cannot cover
+// (disconnected from the sources).
+func (e *Engine) Broadcast(sources []int) (int, error) {
+	n := e.g.N()
+	if n == 0 {
+		return 0, errors.New("dist: broadcast on an empty network")
+	}
+	if len(sources) == 0 {
+		return 0, errors.New("dist: broadcast needs at least one source")
+	}
+	informed := make([]bool, n)
+	frontier := make([]int, 0, n)
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			return 0, fmt.Errorf("dist: unknown broadcast source index %d", s)
+		}
+		if !informed[s] {
+			informed[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	count := len(frontier)
+	rounds := 0
+	for count < n && len(frontier) > 0 {
+		rounds++
+		e.Rounds++
+		var next []int
+		for _, u := range frontier {
+			for _, v := range e.g.Neighbors(u) {
+				e.Messages++
+				e.TotalBits++ // the alarm is a single bit
+				if e.MaxMsgBit < 1 {
+					e.MaxMsgBit = 1
+				}
+				if !informed[v] {
+					informed[v] = true
+					count++
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	if count < n {
+		return rounds, fmt.Errorf("dist: broadcast reached %d of %d nodes (network disconnected)", count, n)
+	}
+	return rounds, nil
+}

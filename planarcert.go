@@ -261,11 +261,59 @@ func reportOf(out *dist.Outcome) *Report {
 // Verify runs the named scheme's 1-round distributed verification with
 // the given (possibly adversarial) certificates.
 func Verify(n *Network, name SchemeName, certs Certificates) (*Report, error) {
+	return VerifyWith(n, name, certs, EngineConfig{})
+}
+
+// EngineConfig tunes the verification engine. The zero value picks the
+// automatic mode: parallel execution across GOMAXPROCS workers on
+// networks large enough to amortise the fan-out, sequential otherwise.
+type EngineConfig struct {
+	// Sequential forces single-goroutine verification.
+	Sequential bool
+	// Parallel forces worker-pool verification even on small networks.
+	// Ignored if Sequential is set.
+	Parallel bool
+	// Workers bounds the worker pool (0 = GOMAXPROCS).
+	Workers int
+	// ShardSize is the number of consecutive nodes a worker claims at a
+	// time (0 = the engine default).
+	ShardSize int
+	// FailFast stops verifying once any node has rejected. The report
+	// still agrees with exhaustive mode on acceptance but may omit later
+	// rejecting nodes.
+	FailFast bool
+}
+
+func (c EngineConfig) options() []dist.Option {
+	var opts []dist.Option
+	switch {
+	case c.Sequential:
+		opts = append(opts, dist.Sequential())
+	case c.Parallel:
+		opts = append(opts, dist.Parallel(c.Workers))
+	case c.Workers > 0:
+		opts = append(opts, dist.Workers(c.Workers))
+	}
+	if c.ShardSize > 0 {
+		opts = append(opts, dist.ShardSize(c.ShardSize))
+	}
+	if c.FailFast {
+		opts = append(opts, dist.FailFast())
+	}
+	return opts
+}
+
+// VerifyWith runs Verify on an engine configured by cfg, so callers can
+// pin the execution mode (the benchmarks compare sequential against
+// parallel on identical inputs) or trade complete rejection reports for
+// fail-fast latency.
+func VerifyWith(n *Network, name SchemeName, certs Certificates, cfg EngineConfig) (*Report, error) {
 	s, err := schemeByName(name)
 	if err != nil {
 		return nil, err
 	}
-	return reportOf(dist.RunPLS(n.g, certs, s.Verify)), nil
+	eng := dist.NewEngine(n.g, cfg.options()...)
+	return reportOf(eng.RunPLS(certs, s.Verify)), nil
 }
 
 // CertifyAndVerify is the honest end-to-end pipeline.

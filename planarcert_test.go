@@ -30,6 +30,65 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+func TestFacadeVerifyWithModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net := planarcert.FromGraph(gen.StackedTriangulation(300, rng))
+	certs, err := planarcert.Certify(net, planarcert.SchemePlanarity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := map[string]planarcert.EngineConfig{
+		"auto":       {},
+		"sequential": {Sequential: true},
+		"parallel":   {Parallel: true, Workers: 4, ShardSize: 16},
+		"failfast":   {FailFast: true},
+	}
+	var want *planarcert.Report
+	for name, cfg := range configs {
+		report, err := planarcert.VerifyWith(net, planarcert.SchemePlanarity, certs, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !report.Accepted {
+			t.Fatalf("%s: honest certificates rejected: %v", name, report.Reasons)
+		}
+		if want == nil {
+			want = report
+			continue
+		}
+		if report.MaxCertBits != want.MaxCertBits || report.Messages != want.Messages ||
+			report.AvgCertBits != want.AvgCertBits {
+			t.Fatalf("%s: stats diverge across modes: %+v vs %+v", name, report, want)
+		}
+	}
+	// Adversarial certificates must be rejected identically in every mode.
+	forged := planarcert.Certificates{}
+	for id, c := range certs {
+		forged[id] = c
+	}
+	ids := net.IDs()
+	a, b := ids[3], ids[len(ids)-4]
+	forged[a], forged[b] = forged[b], forged[a]
+	var accepted *bool
+	for name, cfg := range configs {
+		report, err := planarcert.VerifyWith(net, planarcert.SchemePlanarity, forged, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if accepted == nil {
+			accepted = &report.Accepted
+		} else if report.Accepted != *accepted {
+			t.Fatalf("%s: modes disagree on forged certificates", name)
+		}
+		if report.Accepted {
+			t.Fatalf("%s: swapped certificates accepted", name)
+		}
+		if len(report.Rejecting) == 0 || report.Reasons[report.Rejecting[0]] == "" {
+			t.Fatalf("%s: rejection without reason: %+v", name, report)
+		}
+	}
+}
+
 func TestFacadeNetworkBuilding(t *testing.T) {
 	net := planarcert.NewNetwork()
 	for id := planarcert.NodeID(10); id < 14; id++ {
