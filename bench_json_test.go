@@ -1,0 +1,85 @@
+package planarcert_test
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestBenchSnapshotsWellFormed guards the committed benchmark
+// snapshots: CI regenerates the dynamic sweep and uploads it as an
+// artifact, and this test keeps the committed files parseable and
+// structurally complete so the regeneration check has a baseline to
+// diff against.
+func TestBenchSnapshotsWellFormed(t *testing.T) {
+	type entry struct {
+		Name    string `json:"name"`
+		NsPerOp int64  `json:"ns_per_op"`
+	}
+	type snapshot struct {
+		Note       string  `json:"note"`
+		Date       string  `json:"date"`
+		Benchmarks []entry `json:"benchmarks"`
+	}
+	for file, want := range map[string][]string{
+		"BENCH_baseline.json": {"BenchmarkEngineParallel", "BenchmarkEngineOverhead"},
+		"BENCH_dynamic.json": {
+			"BenchmarkDynamicUpdate/n=50000/session",
+			"BenchmarkDynamicUpdate/n=50000/full",
+			"BenchmarkDynamicCacheOscillation",
+		},
+	} {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		var snap snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatalf("%s: not valid JSON: %v", file, err)
+		}
+		if snap.Note == "" || snap.Date == "" || len(snap.Benchmarks) == 0 {
+			t.Fatalf("%s: missing note/date/benchmarks", file)
+		}
+		for _, prefix := range want {
+			found := false
+			for _, b := range snap.Benchmarks {
+				if strings.HasPrefix(b.Name, prefix) {
+					if b.NsPerOp <= 0 {
+						t.Fatalf("%s: %s has non-positive ns_per_op", file, b.Name)
+					}
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: no benchmark entry matching %q", file, prefix)
+			}
+		}
+	}
+	// The acceptance bar of the dynamic subsystem, checked against the
+	// committed numbers: a single-edge update at n = 50000 is at least
+	// 10x faster than a full re-certification.
+	raw, err := os.ReadFile("BENCH_dynamic.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	var session, full int64
+	for _, b := range snap.Benchmarks {
+		switch b.Name {
+		case "BenchmarkDynamicUpdate/n=50000/session":
+			session = b.NsPerOp
+		case "BenchmarkDynamicUpdate/n=50000/full":
+			full = b.NsPerOp
+		}
+	}
+	if session == 0 || full == 0 {
+		t.Fatal("BENCH_dynamic.json: missing the n=50000 pair")
+	}
+	if full < 10*session {
+		t.Fatalf("committed snapshot violates the 10x bar: session %d ns, full %d ns", session, full)
+	}
+}

@@ -6,17 +6,24 @@
 //	planarcert test < net.edges                           # planarity test
 //	planarcert kuratowski < net.edges                     # extract witness
 //	planarcert certify -scheme planarity < net.edges      # prove + verify
+//	planarcert watch -init net.edges < updates            # incremental
 //	planarcert schemes                                    # list schemes
 //
 // Graphs are read and written as text edge lists ("u v" per line; see
-// planarcert.ParseEdgeList).
+// planarcert.ParseEdgeList). The watch command reads an update stream
+// on stdin — "+ u v" (add edge), "- u v" (remove edge), "n u" (add
+// node), and "flush" / "." / a blank line to absorb the queued batch —
+// and maintains certificates incrementally through planarcert.Session.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
 	planarcert "github.com/planarcert/planarcert"
 	"github.com/planarcert/planarcert/internal/gen"
@@ -38,6 +45,8 @@ func main() {
 		err = cmdKuratowski()
 	case "certify":
 		err = cmdCertify(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
 	case "schemes":
 		for _, s := range planarcert.Schemes() {
 			fmt.Println(s)
@@ -61,8 +70,29 @@ commands:
   gen        -kind {grid|tree|maximal|planar|outerplanar|complete|bipartite|wheel|cycle|path} -n N [-m M] [-seed S]
   test       read an edge list on stdin, report planarity/outerplanarity
   kuratowski read an edge list on stdin, print a K5/K3,3 subdivision witness
-  certify    -scheme NAME [-adversary] : prove + run the 1-round verification
-  schemes    list available proof-labeling schemes`)
+  certify    -scheme NAME [-adversary] [-workers N] [-shard N] [-seq] : prove + verify
+  watch      -scheme NAME [-init FILE] [-threshold N] [-cache N] [-noflip] : certify an update stream
+  schemes    list available proof-labeling schemes
+
+engine flags (certify, watch):
+  -workers N  bound the verification worker pool (0 = GOMAXPROCS)
+  -shard N    nodes a worker claims per handoff (0 = engine default)
+  -seq        force single-goroutine verification`)
+}
+
+// engineFlags registers the engine-tuning flags shared by certify and
+// watch and returns a function assembling the EngineConfig.
+func engineFlags(fs *flag.FlagSet) func() planarcert.EngineConfig {
+	workers := fs.Int("workers", 0, "verification worker pool bound (0 = GOMAXPROCS)")
+	shard := fs.Int("shard", 0, "nodes a worker claims per handoff (0 = engine default)")
+	seq := fs.Bool("seq", false, "force single-goroutine verification")
+	return func() planarcert.EngineConfig {
+		return planarcert.EngineConfig{
+			Sequential: *seq,
+			Workers:    *workers,
+			ShardSize:  *shard,
+		}
+	}
 }
 
 func cmdGen(args []string) error {
@@ -151,9 +181,11 @@ func cmdCertify(args []string) error {
 	fs := flag.NewFlagSet("certify", flag.ExitOnError)
 	scheme := fs.String("scheme", "planarity", "proof-labeling scheme")
 	adversary := fs.Bool("adversary", false, "also run a random-certificate attack")
+	engine := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cfg := engine()
 	net, err := readNetwork()
 	if err != nil {
 		return err
@@ -162,7 +194,7 @@ func cmdCertify(args []string) error {
 	if err != nil {
 		return fmt.Errorf("prover: %w", err)
 	}
-	report, err := planarcert.Verify(net, planarcert.SchemeName(*scheme), certs)
+	report, err := planarcert.VerifyWith(net, planarcert.SchemeName(*scheme), certs, cfg)
 	if err != nil {
 		return err
 	}
@@ -183,11 +215,157 @@ func cmdCertify(args []string) error {
 			rng.Read(data)
 			forged[id] = planarcert.Certificate{Data: data, Bits: nbits}
 		}
-		att, err := planarcert.Verify(net, planarcert.SchemeName(*scheme), forged)
+		att, err := planarcert.VerifyWith(net, planarcert.SchemeName(*scheme), forged, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("adversary:   accepted=%v (%d rejecting)\n", att.Accepted, len(att.Rejecting))
 	}
 	return nil
+}
+
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	scheme := fs.String("scheme", "planarity", "proof-labeling scheme")
+	initFile := fs.String("init", "", "edge-list file with the initial network (default: empty)")
+	threshold := fs.Int("threshold", 0, "repair scope threshold (0 = default, <0 = always re-prove)")
+	cache := fs.Int("cache", 0, "certificate cache size (0 = default, <0 = disabled)")
+	noflip := fs.Bool("noflip", false, "never flip between the planarity and non-planarity schemes")
+	engine := engineFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net := planarcert.NewNetwork()
+	if *initFile != "" {
+		f, err := os.Open(*initFile)
+		if err != nil {
+			return err
+		}
+		net, err = planarcert.ParseEdgeList(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	var opts []planarcert.SessionOption
+	if *threshold != 0 {
+		opts = append(opts, planarcert.WithRepairThreshold(*threshold))
+	}
+	if *cache != 0 {
+		opts = append(opts, planarcert.WithCacheSize(*cache))
+	}
+	if *noflip {
+		opts = append(opts, planarcert.WithoutFlip())
+	}
+	s, err := planarcert.NewSession(net, planarcert.SchemeName(*scheme), engine(), opts...)
+	if err != nil {
+		return err
+	}
+	printWatch(s.Last(), s)
+
+	flush := func() error {
+		rep, err := s.Flush()
+		if err != nil {
+			fmt.Printf("batch rejected: %v\n", err)
+			return nil
+		}
+		printWatch(rep, s)
+		return nil
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	line := 0
+	queued := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "" || text == "." || text == "flush":
+			if queued > 0 {
+				if err := flush(); err != nil {
+					return err
+				}
+				queued = 0
+			}
+			continue
+		case strings.HasPrefix(text, "#"):
+			continue
+		}
+		u, err := parseUpdate(text)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "planarcert: line %d: %v (skipped)\n", line, err)
+			continue
+		}
+		if err := s.Queue(u); err != nil {
+			return err
+		}
+		queued++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if queued > 0 {
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("final: n=%d m=%d scheme=%s certified=%v after %d batches\n",
+		s.N(), s.M(), s.ActiveScheme(), s.Certified(), s.Generation())
+	return nil
+}
+
+// parseUpdate reads one update line: "+ u v" / "add u v", "- u v" /
+// "rm u v", "n u" / "node u".
+func parseUpdate(text string) (planarcert.Update, error) {
+	fields := strings.Fields(text)
+	id := func(i int) (planarcert.NodeID, error) {
+		if i >= len(fields) {
+			return 0, fmt.Errorf("update %q: missing identifier", text)
+		}
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		return planarcert.NodeID(v), err
+	}
+	switch fields[0] {
+	case "+", "add":
+		a, err := id(1)
+		if err != nil {
+			return planarcert.Update{}, err
+		}
+		b, err := id(2)
+		if err != nil {
+			return planarcert.Update{}, err
+		}
+		return planarcert.EdgeAdd(a, b), nil
+	case "-", "rm":
+		a, err := id(1)
+		if err != nil {
+			return planarcert.Update{}, err
+		}
+		b, err := id(2)
+		if err != nil {
+			return planarcert.Update{}, err
+		}
+		return planarcert.EdgeRemove(a, b), nil
+	case "n", "node":
+		a, err := id(1)
+		if err != nil {
+			return planarcert.Update{}, err
+		}
+		return planarcert.NodeAdd(a), nil
+	}
+	return planarcert.Update{}, fmt.Errorf("update %q: want '+ u v', '- u v' or 'n u'", text)
+}
+
+func printWatch(rep *planarcert.SessionReport, s *planarcert.Session) {
+	extra := ""
+	switch {
+	case rep.Mode == "cache":
+		extra = fmt.Sprintf(" cachegen=%d", rep.CacheGeneration)
+	case rep.RepairFallback != "":
+		extra = fmt.Sprintf(" fallback=%q", rep.RepairFallback)
+	}
+	if rep.ProveErr != "" {
+		extra += fmt.Sprintf(" err=%q", rep.ProveErr)
+	}
+	fmt.Printf("gen=%-3d mode=%-11s scheme=%-13s n=%-6d m=%-6d dirty=%-5d verified=%-6d accepted=%v%s\n",
+		rep.Generation, rep.Mode, rep.ActiveScheme, s.N(), s.M(), rep.Dirty, rep.Verified, rep.Accepted, extra)
 }

@@ -1,0 +1,181 @@
+package planarcert_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/gen"
+)
+
+// findOscillationEdge locates an edge whose removal the session absorbs
+// as a localized repair, and leaves the session back in its original
+// topology. Tree edges and wide chords fall back to re-proves and are
+// skipped.
+func findOscillationEdge(b *testing.B, s *planarcert.Session) (planarcert.NodeID, planarcert.NodeID) {
+	b.Helper()
+	net := s.Network()
+	// Nodes stacked late sit deep in the triangulation, so their chords
+	// are narrow and repair-friendly; walk identifiers from the end.
+	edges := make([][2]planarcert.NodeID, 0, 48)
+	ids := net.IDs()
+	for i := len(ids) - 1; i >= 0 && len(edges) < 48; i-- {
+		a := ids[i]
+		for _, nb := range net.Neighbors(a) {
+			edges = append(edges, [2]planarcert.NodeID{a, nb})
+			break // one candidate per node keeps the probe set diverse
+		}
+	}
+	for _, e := range edges {
+		rep, err := s.Apply([]planarcert.Update{planarcert.EdgeRemove(e[0], e[1])})
+		if err != nil {
+			b.Fatal(err)
+		}
+		back, err := s.Apply([]planarcert.Update{planarcert.EdgeAdd(e[0], e[1])})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !back.Accepted {
+			b.Fatalf("restoring edge {%d,%d} lost certification", e[0], e[1])
+		}
+		if rep.Mode == "repair" && (back.Mode == "repair" || back.Mode == "cache") {
+			return e[0], e[1]
+		}
+	}
+	b.Fatal("no oscillation edge absorbed as a repair")
+	return 0, 0
+}
+
+// BenchmarkDynamicUpdate measures the steady-state cost of a
+// single-edge update absorbed by the incremental session — localized
+// repair plus frontier verification — against the one-shot pipeline
+// (full Certify + full Verify) on the same triangulation. The
+// acceptance bar of the dynamic subsystem is >= 10x at n = 50000.
+func BenchmarkDynamicUpdate(b *testing.B) {
+	// The triangulations are built lazily inside the sub-benchmarks so a
+	// -bench filter (CI runs only the small sizes) never pays for the
+	// 50k-node construction.
+	network := func(n int) *planarcert.Network {
+		rng := rand.New(rand.NewSource(42))
+		return planarcert.FromGraph(gen.StackedTriangulation(n, rng))
+	}
+	for _, n := range []int{1024, 8192, 50000} {
+		b.Run(fmt.Sprintf("n=%d/session", n), func(b *testing.B) {
+			net := network(n)
+			s, err := planarcert.NewSession(net, planarcert.SchemePlanarity, planarcert.EngineConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !s.Certified() {
+				b.Fatalf("initial certification failed: %+v", s.Last())
+			}
+			u, v := findOscillationEdge(b, s)
+			verified := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var up planarcert.Update
+				if i%2 == 0 {
+					up = planarcert.EdgeRemove(u, v)
+				} else {
+					up = planarcert.EdgeAdd(u, v)
+				}
+				rep, err := s.Apply([]planarcert.Update{up})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Accepted {
+					b.Fatalf("update %d rejected: %+v", i, rep)
+				}
+				verified += rep.Verified
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(verified)/float64(b.N), "verified/op")
+			if b.N%2 == 1 { // restore the original topology
+				if _, err := s.Apply([]planarcert.Update{planarcert.EdgeAdd(u, v)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("n=%d/full", n), func(b *testing.B) {
+			net := network(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := planarcert.CertifyAndVerify(net, planarcert.SchemePlanarity)
+				if err != nil || !rep.Accepted {
+					b.Fatalf("full pipeline failed: %v", err)
+				}
+			}
+			b.ReportMetric(float64(net.N()), "verified/op")
+		})
+	}
+}
+
+// BenchmarkDynamicCacheOscillation pins the cache path: repair is
+// disabled, so every update re-proves until the oscillation settles
+// onto two generation-stamped cache entries.
+func BenchmarkDynamicCacheOscillation(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	net := planarcert.FromGraph(gen.StackedTriangulation(4096, rng))
+	s, err := planarcert.NewSession(net, planarcert.SchemePlanarity, planarcert.EngineConfig{},
+		planarcert.WithRepairThreshold(-1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := net.IDs()
+	var u, v planarcert.NodeID
+	found := false
+	for _, a := range ids {
+		for _, nb := range net.Neighbors(a) {
+			// Warm both cache entries with one full oscillation.
+			if _, err := s.Apply([]planarcert.Update{planarcert.EdgeRemove(a, nb)}); err != nil {
+				b.Fatal(err)
+			}
+			rep, err := s.Apply([]planarcert.Update{planarcert.EdgeAdd(a, nb)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Certified() && rep.Accepted {
+				u, v, found = a, nb, true
+			}
+			break
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		b.Fatal("no oscillation edge found")
+	}
+	if _, err := s.Apply([]planarcert.Update{planarcert.EdgeRemove(u, v)}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Apply([]planarcert.Update{planarcert.EdgeAdd(u, v)}); err != nil {
+		b.Fatal(err)
+	}
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var up planarcert.Update
+		if i%2 == 0 {
+			up = planarcert.EdgeRemove(u, v)
+		} else {
+			up = planarcert.EdgeAdd(u, v)
+		}
+		rep, err := s.Apply([]planarcert.Update{up})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Mode == "cache" {
+			hits++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(hits)/float64(b.N)*100, "cachehit%")
+	if b.N%2 == 1 {
+		if _, err := s.Apply([]planarcert.Update{planarcert.EdgeAdd(u, v)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

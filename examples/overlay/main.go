@@ -1,10 +1,12 @@
 // Command overlay simulates the motivating scenario of the paper: an
 // overlay network that must stay planar (say, for a planarity-dependent
-// routing scheme). Links join over time; after every change the network
-// re-certifies planarity with O(log n)-bit certificates. The first
-// insertion that breaks planarity is detected by the 1-round verification
-// — at least one node rejects — and that node raises an alarm that floods
-// the network.
+// routing scheme). Links join over time; the network maintains its
+// O(log n)-bit certificates *incrementally* through planarcert.Session —
+// most joins are absorbed as localized repairs that re-verify only the
+// dirty region, and the first insertion that breaks planarity flips the
+// session to the Kuratowski-witness scheme, which doubles as the
+// evidence for the ops team. Rolling the link back hits the certificate
+// cache instead of re-proving.
 package main
 
 import (
@@ -32,77 +34,61 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("bootstrap: tree overlay with %d nodes\n", nodes)
+	session, err := planarcert.NewSession(net, planarcert.SchemePlanarity, planarcert.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrap: tree overlay with %d nodes, certified (%d nodes verified)\n",
+		nodes, session.Last().Verified)
 
-	step := 0
+	step, repaired := 0, 0
 	for {
 		step++
-		// A random new link joins the overlay.
+		// A random new link joins the overlay (one topology snapshot per
+		// step; Network() is a deep copy).
+		snapshot := session.Network()
 		var a, b planarcert.NodeID
 		for {
 			a = planarcert.NodeID(rng.Intn(nodes))
 			b = planarcert.NodeID(rng.Intn(nodes))
-			if a != b && !net.HasEdge(a, b) {
+			if a != b && !snapshot.HasEdge(a, b) {
 				break
 			}
 		}
-		if err := net.AddEdge(a, b); err != nil {
+		rep, err := session.Apply([]planarcert.Update{planarcert.EdgeAdd(a, b)})
+		if err != nil {
 			log.Fatal(err)
 		}
-
-		// Re-certify. If the prover refuses, the overlay is no longer
-		// planar; fall back to the stale certificates to show the
-		// distributed verification also catches it.
-		certs, err := planarcert.Certify(net, planarcert.SchemePlanarity)
-		if err != nil {
-			fmt.Printf("step %3d: +{%d,%d}  prover: network left the planar class\n", step, a, b)
-			// The routing layer still runs the verification round with
-			// whatever certificates it had; some node must reject.
-			stale, verr := planarcert.Certify(withoutEdge(net, a, b), planarcert.SchemePlanarity)
-			if verr != nil {
-				log.Fatal(verr)
-			}
-			report, verr := planarcert.Verify(net, planarcert.SchemePlanarity, stale)
-			if verr != nil {
-				log.Fatal(verr)
-			}
-			fmt.Printf("          1-round verification: accepted=%v, rejecting nodes=%v\n",
-				report.Accepted, report.Rejecting)
-			if report.Accepted {
-				log.Fatal("soundness violated: non-planar overlay accepted")
-			}
-
-			// The rejecting nodes broadcast an alarm.
-			rounds, err := net.Broadcast(report.Rejecting)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("          alarm flooded the overlay in %d rounds\n", rounds)
-
-			// Ops team demands evidence: a Kuratowski witness.
-			w, err := net.Kuratowski()
+		if !rep.Accepted {
+			log.Fatalf("step %d: certification lost: %+v", step, rep)
+		}
+		if session.ActiveScheme() == planarcert.SchemeNonPlanarity {
+			// The overlay left the planar class; the session flipped to
+			// the non-planarity scheme, certifying a Kuratowski witness.
+			fmt.Printf("step %3d: +{%2d,%2d}  planarity broken (mode=%s), %d/%d joins were localized repairs\n",
+				step, a, b, rep.Mode, repaired, step-1)
+			w, err := session.Network().Kuratowski()
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("          evidence: %s subdivision through nodes %v\n", w.Kind, w.Branch)
-			fmt.Printf("          link {%d,%d} rolled back\n", a, b)
+
+			// Roll the link back: the previous planar topology is still
+			// in the certificate cache, so no re-prove happens.
+			rep, err = session.Apply([]planarcert.Update{planarcert.EdgeRemove(a, b)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("          link {%d,%d} rolled back: mode=%s (cache entry from generation %d), certified=%v\n",
+				a, b, rep.Mode, rep.CacheGeneration, session.Certified())
 			return
 		}
-		report, err := planarcert.Verify(net, planarcert.SchemePlanarity, certs)
-		if err != nil {
-			log.Fatal(err)
+		if rep.Mode == "repair" {
+			repaired++
+			fmt.Printf("step %3d: +{%2d,%2d}  planar, repaired locally (%d certs changed, %d of %d nodes re-verified)\n",
+				step, a, b, rep.Dirty, rep.Verified, session.N())
+		} else {
+			fmt.Printf("step %3d: +{%2d,%2d}  planar, %s (%s)\n", step, a, b, rep.Mode, rep.RepairFallback)
 		}
-		if !report.Accepted {
-			log.Fatalf("completeness violated at step %d: %v", step, report.Reasons)
-		}
-		fmt.Printf("step %3d: +{%2d,%2d}  planar, re-certified (max cert %d bits, %d messages)\n",
-			step, a, b, report.MaxCertBits, report.Messages)
 	}
-}
-
-// withoutEdge returns a copy of net lacking the edge {a, b}.
-func withoutEdge(net *planarcert.Network, a, b planarcert.NodeID) *planarcert.Network {
-	c := net.Clone()
-	c.RemoveEdge(a, b)
-	return c
 }

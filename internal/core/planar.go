@@ -258,8 +258,22 @@ func (PlanarScheme) Prove(g *graph.Graph) (map[graph.ID]bits.Certificate, error)
 // proveFromTransform builds the Theorem 1 certificates from a completed
 // transform (shared by the planarity and outerplanarity provers).
 func proveFromTransform(g *graph.Graph, tr *Transform) (map[graph.ID]bits.Certificate, error) {
+	objs, _, err := BuildPlanarCertObjects(g, tr)
+	if err != nil {
+		return nil, err
+	}
+	return EncodePlanarCerts(objs)
+}
+
+// BuildPlanarCertObjects computes the structured Theorem 1 certificates
+// for a completed transform, together with the holder map recording
+// which endpoint stores each edge's certificate (the degeneracy-order
+// assignment). The dynamic subsystem patches these objects in place and
+// re-encodes only the nodes whose certificates changed.
+func BuildPlanarCertObjects(g *graph.Graph, tr *Transform) (map[graph.ID]*PlanarCert, map[graph.Edge]graph.ID, error) {
 	n := g.N()
 	certs := make(map[graph.ID]*PlanarCert, n)
+	holders := make(map[graph.Edge]graph.ID, g.M())
 	for v := 0; v < n; v++ {
 		copies := tr.Copies[v]
 		size := uint64(copies[len(copies)-1]-copies[0]+2) / 2
@@ -278,7 +292,7 @@ func proveFromTransform(g *graph.Graph, tr *Transform) (map[graph.ID]bits.Certif
 	// that comes earlier (which then has at most 5 certified edges).
 	order, degeneracy := g.DegeneracyOrder()
 	if degeneracy > MaxEdgeCerts {
-		return nil, fmt.Errorf("%w: degeneracy %d exceeds 5 — not planar", pls.ErrNotInClass, degeneracy)
+		return nil, nil, fmt.Errorf("%w: degeneracy %d exceeds 5 — not planar", pls.ErrNotInClass, degeneracy)
 	}
 	pos := make([]int, n)
 	for i, v := range order {
@@ -324,9 +338,15 @@ func proveFromTransform(g *graph.Graph, tr *Transform) (map[graph.ID]bits.Certif
 			holder = e.V
 		}
 		certs[g.IDOf(holder)].Edges = append(certs[g.IDOf(holder)].Edges, ec)
+		holders[e] = g.IDOf(holder)
 	}
-	out := make(map[graph.ID]bits.Certificate, n)
-	for id, c := range certs {
+	return certs, holders, nil
+}
+
+// EncodePlanarCerts serialises structured planarity certificates.
+func EncodePlanarCerts(objs map[graph.ID]*PlanarCert) (map[graph.ID]bits.Certificate, error) {
+	out := make(map[graph.ID]bits.Certificate, len(objs))
+	for id, c := range objs {
 		var w bits.Writer
 		if err := c.Encode(&w); err != nil {
 			return nil, err

@@ -249,14 +249,19 @@ func (e *Engine) verifyParallel(lay *layout, verify func(View) error) {
 	wg.Wait()
 }
 
-// verifyNode runs one node's local decision, containing panics (a
+// verifyNode runs one node's local decision on its layout view.
+func verifyNode(lay *layout, u int, verify func(View) error) error {
+	return verifyView(lay.ids[u], lay.view(u), verify)
+}
+
+// verifyView runs one node's local decision, containing panics (a
 // corrupted certificate must never take down the simulator — the
 // corruption battery feeds arbitrary bitstreams through every decoder).
-func verifyNode(lay *layout, u int, verify func(View) error) (err error) {
+func verifyView(id graph.ID, view View, verify func(View) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("dist: verifier panicked at node %d: %v", lay.ids[u], r)
+			err = fmt.Errorf("dist: verifier panicked at node %d: %v", id, r)
 		}
 	}()
-	return verify(lay.view(u))
+	return verify(view)
 }

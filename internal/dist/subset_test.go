@@ -1,0 +1,132 @@
+package dist_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/dist"
+	"github.com/planarcert/planarcert/internal/gen"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+// TestSubsetMatchesFullRun checks that verifying the full index set via
+// RunPLSSubset agrees with RunPLS, sequentially and in parallel, on
+// honest and corrupted certificates.
+func TestSubsetMatchesFullRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.StackedTriangulation(80, rng)
+	scheme := pls.SpanningTreeScheme{}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	honest, err := scheme.Prove(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(t *testing.T, certs map[graph.ID]bits.Certificate) {
+		t.Helper()
+		full := dist.NewEngine(g, dist.Sequential()).RunPLS(certs, scheme.Verify)
+		for name, eng := range map[string]*dist.Engine{
+			"seq": dist.NewEngine(g, dist.Sequential()),
+			"par": dist.NewEngine(g, dist.Parallel(4), dist.ShardSize(3)),
+		} {
+			sub := eng.RunPLSSubset(certs, scheme.Verify, all)
+			if sub.N != full.N || len(sub.Rejecting) != len(full.Rejecting) {
+				t.Fatalf("%s: subset over all nodes disagrees with RunPLS", name)
+			}
+			for i, id := range sub.Rejecting {
+				if full.Rejecting[i] != id || sub.Reasons[id] != full.Reasons[id] {
+					t.Fatalf("%s: rejection mismatch at %d", name, id)
+				}
+			}
+			if sub.Messages != full.Messages || sub.MaxCertBit != full.MaxCertBit || sub.TotalCertBits != full.TotalCertBits {
+				t.Fatalf("%s: accounting mismatch: %+v vs %+v", name, sub, full)
+			}
+		}
+	}
+	run(t, honest)
+
+	bad := make(map[graph.ID]bits.Certificate, len(honest))
+	for id, c := range honest {
+		bad[id] = c
+	}
+	vid := g.IDOf(17)
+	data := append([]byte(nil), bad[vid].Data...)
+	data[0] ^= 0x80
+	bad[vid] = bits.Certificate{Data: data, Bits: bad[vid].Bits}
+	run(t, bad)
+}
+
+// TestSubsetLocalisesCorruption checks the frontier-soundness contract:
+// a corrupted certificate is detected by any subset meeting the node's
+// 1-hop closure, and invisible to subsets that avoid it.
+func TestSubsetLocalisesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := gen.StackedTriangulation(60, rng)
+	scheme := pls.SpanningTreeScheme{}
+	certs, err := scheme.Prove(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := 23
+	vid := g.IDOf(victim)
+	data := append([]byte(nil), certs[vid].Data...)
+	if len(data) == 0 {
+		t.Fatal("empty certificate")
+	}
+	data[len(data)/2] ^= 0x40
+	certs[vid] = bits.Certificate{Data: data, Bits: certs[vid].Bits}
+
+	closure := map[int]bool{victim: true}
+	for _, w := range g.Neighbors(victim) {
+		closure[w] = true
+	}
+	var inside, outside []int
+	for v := 0; v < g.N(); v++ {
+		if closure[v] {
+			inside = append(inside, v)
+		} else {
+			outside = append(outside, v)
+		}
+	}
+	eng := dist.NewEngine(g)
+	if out := eng.RunPLSSubset(certs, scheme.Verify, inside); out.AllAccept() {
+		t.Fatalf("corruption at node %d not caught by its 1-hop closure", vid)
+	}
+	if out := eng.RunPLSSubset(certs, scheme.Verify, outside); !out.AllAccept() {
+		t.Fatalf("nodes outside the closure rejected: %v", out.Reasons)
+	}
+}
+
+// TestSubsetTracksLiveGraph checks that RunPLSSubset reads the live
+// topology even after the engine's CSR layout was snapshotted by a
+// full RunPLS.
+func TestSubsetTracksLiveGraph(t *testing.T) {
+	g := gen.Cycle(8)
+	scheme := pls.SpanningTreeScheme{}
+	certs, err := scheme.Prove(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := dist.NewEngine(g)
+	if out := eng.RunPLS(certs, scheme.Verify); !out.AllAccept() {
+		t.Fatalf("honest cycle rejected: %v", out.Reasons)
+	}
+	// Cut the cycle: node 1 loses the tree edge to its parent 0 and must
+	// reject on its live view.
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("edge {0,1} missing")
+	}
+	out := eng.RunPLSSubset(certs, scheme.Verify, []int{1})
+	if out.AllAccept() {
+		t.Fatal("subset verification missed the removed parent edge")
+	}
+	// Duplicate and out-of-range indices are dropped.
+	out = eng.RunPLSSubset(certs, scheme.Verify, []int{2, 2, -1, 99, 3})
+	if out.N != 2 {
+		t.Fatalf("want 2 verified nodes, got %d", out.N)
+	}
+}

@@ -1,0 +1,675 @@
+// Package dynamic maintains proof-labeling-scheme certificates for a
+// mutable network under a live stream of topology updates, so that a
+// steady-state update costs work proportional to the change rather than
+// to the network size.
+//
+// A Session owns a mutable graph together with its current certificate
+// assignment. Updates (edge insertions/removals, node additions) are
+// queued into an update log and applied in batches. Per batch the
+// maintainer:
+//
+//  1. computes the net effect and the *dirty region* (endpoints of
+//     changed edges plus the nodes whose certificates the repair
+//     touches);
+//  2. attempts a localized certificate repair — chord (cotree-edge)
+//     insertion/removal with interval patching on the spanning-path
+//     proof for the planarity scheme, spanning-tree surgery (subtree
+//     re-rooting with distance/size patching) for the spanning-tree and
+//     non-planarity schemes — bounded by a configurable scope threshold;
+//  3. re-verifies only the *frontier* — the dirty region plus its 1-hop
+//     closure — through dist.RunPLSSubset;
+//  4. falls back to a full re-prove (optionally flipping between the
+//     planarity and Kuratowski-witness schemes when planarity itself
+//     flips) whenever repair is impossible, out of scope, or rejected
+//     by the frontier; a generation-stamped certificate cache keyed by
+//     an incremental graph fingerprint short-circuits re-proves for
+//     previously-certified topologies (oscillating overlay workloads).
+//
+// Frontier soundness. A proof-labeling verifier is local: node u's
+// verdict depends only on its 1-round view (its own identifier, degree
+// and certificate, plus each neighbor's identifier and certificate).
+// If a batch changes certificates only at a node set D and edges only
+// between nodes of D, then every node outside D ∪ N(D) has a
+// bit-identical view before and after the batch, hence an unchanged
+// verdict. Starting from a globally accepted assignment, re-verifying
+// D ∪ N(D) therefore decides global acceptance exactly — this is the
+// local checkability of certificates that makes incremental
+// maintenance sound regardless of how clever (or wrong) the repair
+// heuristic is: a bad repair is caught on the frontier and demoted to a
+// full re-prove.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/core"
+	"github.com/planarcert/planarcert/internal/dist"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+// Op identifies one kind of topology update.
+type Op uint8
+
+// Supported update operations.
+const (
+	AddEdge Op = iota
+	RemoveEdge
+	AddNode
+)
+
+func (o Op) String() string {
+	switch o {
+	case AddEdge:
+		return "+edge"
+	case RemoveEdge:
+		return "-edge"
+	case AddNode:
+		return "+node"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Update is one entry of the update log. AddNode uses only A.
+type Update struct {
+	Op   Op
+	A, B graph.ID
+}
+
+// Mode labels how a batch was absorbed.
+type Mode string
+
+// Batch absorption modes.
+const (
+	ModeNoop        Mode = "noop"        // net effect empty, nothing to do
+	ModeRepair      Mode = "repair"      // localized repair + frontier verification
+	ModeCache       Mode = "cache"       // certificate cache hit
+	ModeReprove     Mode = "reprove"     // full re-prove + full verification
+	ModeFlip        Mode = "flip"        // re-prove under the counterpart scheme
+	ModeUncertified Mode = "uncertified" // no scheme certifies the current graph
+)
+
+// DefaultRepairThreshold bounds the repair scope (ranks scanned during
+// interval patching, nodes touched during tree surgery) per batch.
+const DefaultRepairThreshold = 2048
+
+// DefaultCacheSize is the number of certified topologies remembered.
+const DefaultCacheSize = 8
+
+// Config parameterises a Session.
+type Config struct {
+	// Scheme is the configured proof-labeling scheme.
+	Scheme pls.Scheme
+	// Counterpart, if non-nil, is the scheme to flip to when Scheme's
+	// prover reports the graph left its class (planarity <-> the
+	// Kuratowski-witness scheme).
+	Counterpart pls.Scheme
+	// RepairThreshold bounds the localized-repair scope per batch;
+	// 0 means DefaultRepairThreshold, negative disables repair.
+	RepairThreshold int
+	// CacheSize bounds the certificate cache; 0 means DefaultCacheSize,
+	// negative disables the cache.
+	CacheSize int
+	// EngineOpts configure the verification engines the session builds.
+	EngineOpts []dist.Option
+}
+
+// Report describes how one batch was absorbed.
+type Report struct {
+	// Generation is the session generation after the batch.
+	Generation uint64
+	// Mode says how the batch was absorbed.
+	Mode Mode
+	// Scheme is the active scheme after the batch.
+	Scheme string
+	// Updates is the number of log entries in the batch.
+	Updates int
+	// Dirty counts the nodes whose certificates changed.
+	Dirty int
+	// Verified counts the nodes re-verified (n for a full verification).
+	Verified int
+	// FullVerify reports whether the whole network was re-verified.
+	FullVerify bool
+	// Accepted is the verification verdict (false when uncertified).
+	Accepted bool
+	// Outcome is the verification outcome (nil when nothing ran).
+	Outcome *dist.Outcome
+	// CacheGeneration is the generation stamp of the cache entry that
+	// served the batch (Mode == ModeCache).
+	CacheGeneration uint64
+	// RepairFallback explains why a repair attempt was abandoned.
+	RepairFallback string
+	// ProveErr is the prover failure when Mode == ModeUncertified.
+	ProveErr error
+}
+
+// repairState is the scheme-specific structured certificate state a
+// repair operates on. Implementations mutate their internal structures
+// and return freshly encoded certificates for the nodes they changed.
+type repairState interface {
+	// repair absorbs the net batch. It returns the re-encoded
+	// certificates of changed nodes and their indices; ok=false means
+	// the batch is out of repair scope and reason says why.
+	repair(nb *netBatch, budget int) (certs map[graph.ID]bits.Certificate, changed []int, ok bool, reason string)
+}
+
+// Session maintains a certificate assignment across update batches.
+type Session struct {
+	g           *graph.Graph
+	scheme      pls.Scheme
+	counterpart pls.Scheme
+	active      pls.Scheme
+	threshold   int
+	engineOpts  []dist.Option
+
+	gen       uint64
+	certs     map[graph.ID]bits.Certificate
+	certsOwn  bool // false when certs aliases a cache entry (copy-on-write)
+	certified bool
+	state     repairState
+
+	fp      fingerprint
+	cache   *certCache
+	pending []Update
+	last    *Report
+}
+
+// NewSession takes ownership of g and certifies it under cfg.Scheme.
+// A prover failure (empty graph, graph outside every configured class)
+// leaves the session alive but uncertified — the initial Report records
+// it — so sessions can start from an empty network and be grown through
+// Apply.
+func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
+	if cfg.Scheme == nil {
+		return nil, errors.New("dynamic: nil scheme")
+	}
+	threshold := cfg.RepairThreshold
+	switch {
+	case threshold == 0:
+		threshold = DefaultRepairThreshold
+	case threshold < 0:
+		threshold = -1
+	}
+	cacheSize := cfg.CacheSize
+	switch {
+	case cacheSize == 0:
+		cacheSize = DefaultCacheSize
+	case cacheSize < 0:
+		cacheSize = 0
+	}
+	s := &Session{
+		g:           g,
+		scheme:      cfg.Scheme,
+		counterpart: cfg.Counterpart,
+		active:      cfg.Scheme,
+		threshold:   threshold,
+		engineOpts:  cfg.EngineOpts,
+		cache:       newCertCache(cacheSize),
+		fp:          fingerprintOf(g),
+	}
+	rep := &Report{Generation: 0, Scheme: s.active.Name()}
+	s.reprove(rep)
+	s.last = rep
+	return s, nil
+}
+
+// Graph exposes the live graph. Callers must not mutate it; all
+// mutations go through the update log.
+func (s *Session) Graph() *graph.Graph { return s.g }
+
+// Generation returns the number of absorbed batches.
+func (s *Session) Generation() uint64 { return s.gen }
+
+// Certified reports whether the current assignment was accepted.
+func (s *Session) Certified() bool { return s.certified }
+
+// ActiveScheme returns the scheme currently certifying the graph.
+func (s *Session) ActiveScheme() pls.Scheme { return s.active }
+
+// Last returns the report of the most recent batch (or the initial
+// certification).
+func (s *Session) Last() *Report { return s.last }
+
+// Certificates returns the live certificate assignment. The map and its
+// byte slices are shared with the session; public facades deep-copy.
+func (s *Session) Certificates() map[graph.ID]bits.Certificate { return s.certs }
+
+// Queue appends an update to the log without applying it.
+func (s *Session) Queue(u Update) { s.pending = append(s.pending, u) }
+
+// Apply queues the updates and flushes the whole log as one batch.
+func (s *Session) Apply(batch []Update) (*Report, error) {
+	s.pending = append(s.pending, batch...)
+	return s.Flush()
+}
+
+// Flush applies the queued update log as one batch. A validation error
+// (unknown endpoint, duplicate edge or node, self-loop) rejects and
+// discards the whole log without touching the graph.
+func (s *Session) Flush() (*Report, error) {
+	batch := s.pending
+	s.pending = nil
+	rep := &Report{Updates: len(batch), Scheme: s.active.Name(), Generation: s.gen}
+	if len(batch) == 0 {
+		rep.Mode = ModeNoop
+		rep.Accepted = s.certified
+		s.last = rep
+		return rep, nil
+	}
+	nb, err := s.validate(batch)
+	if err != nil {
+		return nil, err
+	}
+	s.applyToGraph(batch)
+	s.fp = s.fp.apply(nb)
+	s.gen++
+	rep.Generation = s.gen
+
+	if nb.empty() {
+		rep.Mode = ModeNoop
+		rep.Accepted = s.certified
+		s.last = rep
+		return rep, nil
+	}
+
+	if done := s.tryRepair(nb, rep); !done {
+		if done = s.tryCache(nb, rep); !done {
+			s.reprove(rep)
+		}
+	}
+	s.last = rep
+	return rep, nil
+}
+
+// VerifyFull re-runs the active scheme's verifier over the whole
+// network with the current certificates (a fresh engine, so it is valid
+// right after mutations). It is the parity baseline for tests: an
+// uncertified session has no certificates, so every node sees a
+// zero-length certificate and rejects (vacuously accepting only on the
+// empty network).
+func (s *Session) VerifyFull() *dist.Outcome {
+	return dist.NewEngine(s.g, s.engineOpts...).RunPLS(s.certs, s.active.Verify)
+}
+
+// netBatch is the net effect of one batch: updates that cancel inside
+// the batch (an edge added then removed) disappear.
+type netBatch struct {
+	addedNodes   []graph.ID
+	addedEdges   [][2]graph.ID // by identifier, in batch order
+	removedEdges [][2]graph.ID
+}
+
+func (nb *netBatch) empty() bool {
+	return len(nb.addedNodes) == 0 && len(nb.addedEdges) == 0 && len(nb.removedEdges) == 0
+}
+
+func normPair(a, b graph.ID) [2]graph.ID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]graph.ID{a, b}
+}
+
+// validate simulates the batch against the current graph without
+// mutating it, rejecting structurally invalid updates, and computes the
+// net effect.
+func (s *Session) validate(batch []Update) (*netBatch, error) {
+	newNodes := make(map[graph.ID]bool)
+	// overlay: +1 edge present (added), -1 absent (removed); missing
+	// entries defer to the graph.
+	overlay := make(map[[2]graph.ID]int8)
+	present := func(id graph.ID) bool {
+		if newNodes[id] {
+			return true
+		}
+		_, ok := s.g.IndexOf(id)
+		return ok
+	}
+	hasEdge := func(p [2]graph.ID) bool {
+		if st, ok := overlay[p]; ok {
+			return st > 0
+		}
+		ia, ok1 := s.g.IndexOf(p[0])
+		ib, ok2 := s.g.IndexOf(p[1])
+		return ok1 && ok2 && s.g.HasEdge(ia, ib)
+	}
+	for i, u := range batch {
+		switch u.Op {
+		case AddNode:
+			if present(u.A) {
+				return nil, fmt.Errorf("dynamic: update %d: node %d already exists", i, u.A)
+			}
+			newNodes[u.A] = true
+		case AddEdge:
+			if u.A == u.B {
+				return nil, fmt.Errorf("dynamic: update %d: self-loop at %d", i, u.A)
+			}
+			if !present(u.A) || !present(u.B) {
+				return nil, fmt.Errorf("dynamic: update %d: unknown endpoint in {%d,%d}", i, u.A, u.B)
+			}
+			p := normPair(u.A, u.B)
+			if hasEdge(p) {
+				return nil, fmt.Errorf("dynamic: update %d: duplicate edge {%d,%d}", i, u.A, u.B)
+			}
+			overlay[p] = 1
+		case RemoveEdge:
+			p := normPair(u.A, u.B)
+			if !hasEdge(p) {
+				return nil, fmt.Errorf("dynamic: update %d: no edge {%d,%d} to remove", i, u.A, u.B)
+			}
+			overlay[p] = -1
+		default:
+			return nil, fmt.Errorf("dynamic: update %d: unknown op %d", i, u.Op)
+		}
+	}
+	nb := &netBatch{}
+	for id := range newNodes {
+		nb.addedNodes = append(nb.addedNodes, id)
+	}
+	sort.Slice(nb.addedNodes, func(i, j int) bool { return nb.addedNodes[i] < nb.addedNodes[j] })
+	pairs := make([][2]graph.ID, 0, len(overlay))
+	for p := range overlay {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, p := range pairs {
+		st := overlay[p]
+		ia, ok1 := s.g.IndexOf(p[0])
+		ib, ok2 := s.g.IndexOf(p[1])
+		before := ok1 && ok2 && s.g.HasEdge(ia, ib)
+		switch {
+		case st > 0 && !before:
+			nb.addedEdges = append(nb.addedEdges, p)
+		case st < 0 && before:
+			nb.removedEdges = append(nb.removedEdges, p)
+		}
+	}
+	return nb, nil
+}
+
+// applyToGraph commits a validated batch. It cannot fail.
+func (s *Session) applyToGraph(batch []Update) {
+	for _, u := range batch {
+		switch u.Op {
+		case AddNode:
+			s.g.MustAddNode(u.A)
+		case AddEdge:
+			ia, _ := s.g.IndexOf(u.A)
+			ib, _ := s.g.IndexOf(u.B)
+			s.g.MustAddEdge(ia, ib)
+		case RemoveEdge:
+			ia, _ := s.g.IndexOf(u.A)
+			ib, _ := s.g.IndexOf(u.B)
+			s.g.RemoveEdge(ia, ib)
+		}
+	}
+}
+
+// touchedIdxs returns the indices of the endpoints of net-changed edges.
+func (s *Session) touchedIdxs(nb *netBatch) []int {
+	var out []int
+	add := func(id graph.ID) {
+		if idx, ok := s.g.IndexOf(id); ok {
+			out = append(out, idx)
+		}
+	}
+	for _, p := range nb.addedEdges {
+		add(p[0])
+		add(p[1])
+	}
+	for _, p := range nb.removedEdges {
+		add(p[0])
+		add(p[1])
+	}
+	for _, id := range nb.addedNodes {
+		add(id)
+	}
+	return out
+}
+
+// frontierOf closes the dirty set: nodes with changed certificates plus
+// their neighbors (whose views contain the changed certificates) plus
+// the endpoints of changed edges (whose views changed shape).
+func (s *Session) frontierOf(changed, touched []int) []int {
+	seen := make(map[int]bool, 2*len(changed)+len(touched))
+	var out []int
+	add := func(u int) {
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	for _, u := range changed {
+		add(u)
+		for _, v := range s.g.Neighbors(u) {
+			add(v)
+		}
+	}
+	for _, u := range touched {
+		add(u)
+	}
+	return out
+}
+
+// ensureOwnedCerts copy-on-writes the certificate map when it is shared
+// with a cache entry.
+func (s *Session) ensureOwnedCerts() {
+	if s.certsOwn || s.certs == nil {
+		return
+	}
+	clone := make(map[graph.ID]bits.Certificate, len(s.certs))
+	for id, c := range s.certs {
+		clone[id] = c
+	}
+	s.certs = clone
+	s.certsOwn = true
+}
+
+// tryRepair attempts a localized repair + frontier verification.
+// It reports whether the batch was fully absorbed.
+func (s *Session) tryRepair(nb *netBatch, rep *Report) bool {
+	switch {
+	case s.threshold < 0:
+		rep.RepairFallback = "repair disabled"
+		return false
+	case !s.certified:
+		rep.RepairFallback = "no certified base state"
+		return false
+	case s.state == nil:
+		rep.RepairFallback = "no structured state (cold after cache adoption)"
+		return false
+	case len(nb.addedNodes) > 0:
+		rep.RepairFallback = "node additions change n in every certificate"
+		return false
+	}
+	newCerts, changed, ok, reason := s.state.repair(nb, s.threshold)
+	if !ok {
+		rep.RepairFallback = reason
+		return false
+	}
+	s.ensureOwnedCerts()
+	for id, c := range newCerts {
+		s.certs[id] = c
+	}
+	frontier := s.frontierOf(changed, s.touchedIdxs(nb))
+	out := dist.NewEngine(s.g, s.engineOpts...).RunPLSSubset(s.certs, s.active.Verify, frontier)
+	rep.Dirty = len(changed)
+	rep.Verified = out.N
+	rep.Outcome = out
+	if !out.AllAccept() {
+		// The repair produced a locally rejected assignment; demote to a
+		// full re-prove. The state was mutated by the failed repair and
+		// will be rebuilt there.
+		rep.RepairFallback = fmt.Sprintf("frontier rejected at node %d", out.Rejecting[0])
+		rep.Outcome = nil
+		rep.Dirty, rep.Verified = 0, 0
+		return false
+	}
+	rep.Mode = ModeRepair
+	rep.Accepted = true
+	rep.Scheme = s.active.Name()
+	return true
+}
+
+// tryCache adopts a previously certified assignment for the current
+// fingerprint. It reports whether the batch was fully absorbed.
+func (s *Session) tryCache(nb *netBatch, rep *Report) bool {
+	entry := s.cache.lookup(s.cacheKey())
+	if entry == nil {
+		return false
+	}
+	// Adopt the snapshot copy-on-write; the structured repair state
+	// describes the old assignment and is rebuilt lazily at the next
+	// re-prove.
+	s.certs = entry.certs
+	s.certsOwn = false
+	s.active = entry.scheme
+	s.state = nil
+	s.certified = true
+	// Sanity pass over the update endpoints: cheap, and demotes
+	// fingerprint collisions to a re-prove instead of an accept.
+	out := dist.NewEngine(s.g, s.engineOpts...).RunPLSSubset(s.certs, s.active.Verify, s.touchedIdxs(nb))
+	if !out.AllAccept() {
+		s.cache.evict(s.cacheKey())
+		s.certified = false
+		return false
+	}
+	rep.Mode = ModeCache
+	rep.Accepted = true
+	rep.Scheme = s.active.Name()
+	rep.Verified = out.N
+	rep.Outcome = out
+	rep.CacheGeneration = entry.gen
+	return true
+}
+
+// reprove runs the full prover (flipping to the counterpart scheme when
+// the active one's class no longer contains the graph), fully
+// re-verifies, rebuilds the structured repair state, and stores the
+// certified assignment in the cache.
+func (s *Session) reprove(rep *Report) {
+	order := []pls.Scheme{s.active}
+	if other := s.counterpartOf(s.active); other != nil {
+		order = append(order, other)
+	}
+	var firstErr error
+	for i, sch := range order {
+		certs, st, err := s.proveStructured(sch)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			if errors.Is(err, pls.ErrNotInClass) {
+				continue
+			}
+			break
+		}
+		s.active = sch
+		s.certs = certs
+		s.certsOwn = true
+		s.state = st
+		out := dist.NewEngine(s.g, s.engineOpts...).RunPLS(certs, sch.Verify)
+		rep.Mode = ModeReprove
+		if i > 0 {
+			rep.Mode = ModeFlip
+		}
+		rep.Scheme = sch.Name()
+		rep.Accepted = out.AllAccept()
+		rep.Outcome = out
+		rep.FullVerify = true
+		rep.Verified = out.N
+		rep.Dirty = len(certs)
+		s.certified = rep.Accepted
+		if rep.Accepted {
+			s.cache.store(s.cacheKey(), &cacheEntry{scheme: sch, certs: certs, gen: s.gen})
+			// The stored entry shares the map; future repairs must
+			// copy-on-write.
+			s.certsOwn = false
+		}
+		return
+	}
+	s.certs = nil
+	s.certsOwn = true
+	s.state = nil
+	s.certified = false
+	rep.Mode = ModeUncertified
+	rep.Scheme = s.active.Name()
+	rep.Accepted = false
+	rep.ProveErr = firstErr
+}
+
+// counterpartOf returns the scheme to flip to from sch, or nil.
+func (s *Session) counterpartOf(sch pls.Scheme) pls.Scheme {
+	if s.counterpart == nil {
+		return nil
+	}
+	if sch == s.scheme {
+		return s.counterpart
+	}
+	return s.scheme
+}
+
+// proveStructured runs the scheme's prover, keeping the structured
+// certificate state for schemes that support localized repair.
+func (s *Session) proveStructured(sch pls.Scheme) (map[graph.ID]bits.Certificate, repairState, error) {
+	switch sch.(type) {
+	case core.PlanarScheme:
+		if s.g.N() == 0 {
+			return nil, nil, fmt.Errorf("%w: empty graph", pls.ErrNotInClass)
+		}
+		if !s.g.Connected() {
+			return nil, nil, fmt.Errorf("%w: disconnected graph", pls.ErrNotInClass)
+		}
+		tr, err := core.TransformOf(s.g)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", pls.ErrNotInClass, err)
+		}
+		objs, holders, err := core.BuildPlanarCertObjects(s.g, tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		certs, err := core.EncodePlanarCerts(objs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return certs, newPlanarState(s.g, tr, objs, holders), nil
+	case core.NonPlanarScheme:
+		proof, err := core.BuildNonPlanarProof(s.g)
+		if err != nil {
+			return nil, nil, err
+		}
+		certs, err := core.EncodeNonPlanarCerts(proof.Certs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return certs, newNonPlanarState(s.g, proof), nil
+	case pls.SpanningTreeScheme:
+		if s.g.N() == 0 {
+			return nil, nil, fmt.Errorf("%w: empty graph", pls.ErrNotInClass)
+		}
+		ts, err := newTreeState(s.g)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", pls.ErrNotInClass, err)
+		}
+		certs, err := ts.encodeAll()
+		if err != nil {
+			return nil, nil, err
+		}
+		return certs, ts, nil
+	default:
+		certs, err := sch.Prove(s.g)
+		return certs, nil, err
+	}
+}
+
+func (s *Session) cacheKey() cacheKey {
+	return cacheKey{fp: s.fp, n: s.g.N(), m: s.g.M()}
+}

@@ -220,9 +220,23 @@ func schemeByName(name SchemeName) (pls.Scheme, error) {
 	}
 }
 
+// cloneCertificates deep-copies a certificate assignment: a fresh map
+// whose Data slices share no backing array with the input.
+func cloneCertificates(certs Certificates) Certificates {
+	out := make(Certificates, len(certs))
+	for id, c := range certs {
+		data := make([]byte, len(c.Data))
+		copy(data, c.Data)
+		out[id] = Certificate{Data: data, Bits: c.Bits}
+	}
+	return out
+}
+
 // Certify runs the honest prover of the named scheme on the network.
 // For networks outside the scheme's class it returns an error wrapping
-// ErrNotInClass semantics.
+// ErrNotInClass semantics. The returned map and its byte slices are
+// defensive copies: callers may mutate them freely without corrupting
+// any scheme- or session-internal state.
 func Certify(n *Network, name SchemeName) (Certificates, error) {
 	s, err := schemeByName(name)
 	if err != nil {
@@ -232,7 +246,7 @@ func Certify(n *Network, name SchemeName) (Certificates, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Certificates(certs), nil
+	return cloneCertificates(Certificates(certs)), nil
 }
 
 // Report summarises one verification round.
@@ -364,7 +378,7 @@ func SelfCertify(n *Network, name SchemeName) (Certificates, *PreprocessReport, 
 	if err != nil {
 		return nil, nil, err
 	}
-	return Certificates(certs), &PreprocessReport{
+	return cloneCertificates(Certificates(certs)), &PreprocessReport{
 		Rounds:     stats.Rounds,
 		Messages:   stats.Messages,
 		TotalBits:  stats.TotalBits,

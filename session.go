@@ -1,0 +1,264 @@
+package planarcert
+
+import (
+	"fmt"
+
+	"github.com/planarcert/planarcert/internal/core"
+	"github.com/planarcert/planarcert/internal/dynamic"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+// UpdateOp identifies one kind of live topology update.
+type UpdateOp int
+
+// Supported update operations.
+const (
+	OpAddEdge UpdateOp = iota
+	OpRemoveEdge
+	OpAddNode
+)
+
+// Update is one entry of a Session's update log. OpAddNode uses only A.
+type Update struct {
+	Op   UpdateOp
+	A, B NodeID
+}
+
+// EdgeAdd returns an edge-insertion update.
+func EdgeAdd(a, b NodeID) Update { return Update{Op: OpAddEdge, A: a, B: b} }
+
+// EdgeRemove returns an edge-removal update.
+func EdgeRemove(a, b NodeID) Update { return Update{Op: OpRemoveEdge, A: a, B: b} }
+
+// NodeAdd returns a node-addition update.
+func NodeAdd(id NodeID) Update { return Update{Op: OpAddNode, A: id} }
+
+func (u Update) internal() (dynamic.Update, error) {
+	switch u.Op {
+	case OpAddEdge:
+		return dynamic.Update{Op: dynamic.AddEdge, A: u.A, B: u.B}, nil
+	case OpRemoveEdge:
+		return dynamic.Update{Op: dynamic.RemoveEdge, A: u.A, B: u.B}, nil
+	case OpAddNode:
+		return dynamic.Update{Op: dynamic.AddNode, A: u.A}, nil
+	default:
+		return dynamic.Update{}, fmt.Errorf("planarcert: unknown update op %d", u.Op)
+	}
+}
+
+// SessionReport describes how one update batch was absorbed.
+type SessionReport struct {
+	// Generation counts absorbed batches (0 is the initial certification).
+	Generation uint64
+	// Mode is how the batch was absorbed: "noop", "repair" (localized
+	// repair + frontier verification), "cache" (certificate cache hit),
+	// "reprove" (full re-prove), "flip" (re-prove under the counterpart
+	// scheme after planarity flipped), or "uncertified".
+	Mode string
+	// ActiveScheme is the scheme certifying the network after the batch.
+	ActiveScheme SchemeName
+	// Updates is the number of log entries absorbed.
+	Updates int
+	// Dirty counts the nodes whose certificates changed.
+	Dirty int
+	// Verified counts the nodes whose verifier re-ran.
+	Verified int
+	// FullVerify reports whether the whole network was re-verified.
+	FullVerify bool
+	// Accepted is the verification verdict.
+	Accepted bool
+	// Verification carries the verification details (nil when nothing
+	// ran, e.g. a noop batch).
+	Verification *Report
+	// CacheGeneration is the generation stamp of the cache entry that
+	// served a "cache" batch.
+	CacheGeneration uint64
+	// RepairFallback explains why a localized repair was abandoned.
+	RepairFallback string
+	// ProveErr is the prover failure of an "uncertified" batch.
+	ProveErr string
+}
+
+func sessionReportOf(r *dynamic.Report) *SessionReport {
+	sr := &SessionReport{
+		Generation:      r.Generation,
+		Mode:            string(r.Mode),
+		ActiveScheme:    SchemeName(r.Scheme),
+		Updates:         r.Updates,
+		Dirty:           r.Dirty,
+		Verified:        r.Verified,
+		FullVerify:      r.FullVerify,
+		Accepted:        r.Accepted,
+		CacheGeneration: r.CacheGeneration,
+		RepairFallback:  r.RepairFallback,
+	}
+	if r.Outcome != nil {
+		sr.Verification = reportOf(r.Outcome)
+	}
+	if r.ProveErr != nil {
+		sr.ProveErr = r.ProveErr.Error()
+	}
+	return sr
+}
+
+// SessionOption tunes a Session beyond the engine configuration.
+type SessionOption func(*sessionOpts)
+
+type sessionOpts struct {
+	repairThreshold int
+	cacheSize       int
+	noFlip          bool
+}
+
+// WithRepairThreshold bounds the localized-repair scope per batch
+// (ranks scanned during interval patching, nodes touched during tree
+// surgery). Zero keeps the default; negative disables repair so every
+// effective batch re-proves (or hits the cache).
+func WithRepairThreshold(k int) SessionOption {
+	return func(o *sessionOpts) { o.repairThreshold = k }
+}
+
+// WithCacheSize bounds the certificate cache (certified topologies
+// remembered by fingerprint). Zero keeps the default; negative disables
+// the cache.
+func WithCacheSize(k int) SessionOption {
+	return func(o *sessionOpts) { o.cacheSize = k }
+}
+
+// WithoutFlip pins the session to its configured scheme instead of
+// flipping between the planarity and non-planarity schemes when
+// planarity itself flips.
+func WithoutFlip() SessionOption {
+	return func(o *sessionOpts) { o.noFlip = true }
+}
+
+// Session maintains a network and its certificates across a live stream
+// of updates. Instead of re-proving and re-verifying the whole network
+// per change (the one-shot Certify/Verify pipeline), a session computes
+// the dirty region of each update batch, repairs certificates locally
+// when it can — chord surgery on the spanning-path proof for
+// planarity, spanning-tree surgery for the tree schemes — re-verifies
+// only the dirty region's 1-hop closure through the sharded engine, and
+// falls back to a full re-prove (with scheme flipping and a
+// generation-stamped certificate cache) when it cannot.
+type Session struct {
+	d *dynamic.Session
+}
+
+// NewSession clones the network and certifies it under the named
+// scheme. The session is returned even when the initial prover fails
+// (empty or uncertifiable network) — it reports uncertified until
+// updates bring the network into a certifiable class. For the planarity
+// and non-planarity schemes the session flips between the two when the
+// network crosses the planarity boundary (disable with WithoutFlip).
+func NewSession(n *Network, name SchemeName, cfg EngineConfig, opts ...SessionOption) (*Session, error) {
+	scheme, err := schemeByName(name)
+	if err != nil {
+		return nil, err
+	}
+	var o sessionOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var counterpart pls.Scheme
+	if !o.noFlip {
+		switch name {
+		case SchemePlanarity:
+			counterpart = core.NonPlanarScheme{}
+		case SchemeNonPlanarity:
+			counterpart = core.PlanarScheme{}
+		}
+	}
+	d, err := dynamic.NewSession(n.g.Clone(), dynamic.Config{
+		Scheme:          scheme,
+		Counterpart:     counterpart,
+		RepairThreshold: o.repairThreshold,
+		CacheSize:       o.cacheSize,
+		EngineOpts:      cfg.options(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{d: d}, nil
+}
+
+// Apply queues the updates and absorbs the whole pending log as one
+// batch. A structurally invalid log (unknown endpoint, duplicate edge
+// or node, self-loop) is rejected and discarded without touching the
+// network.
+func (s *Session) Apply(updates []Update) (*SessionReport, error) {
+	// Convert the whole batch before queueing any of it, so a bad update
+	// cannot leave a partial prefix in the log.
+	converted := make([]dynamic.Update, len(updates))
+	for i, u := range updates {
+		iu, err := u.internal()
+		if err != nil {
+			return nil, err
+		}
+		converted[i] = iu
+	}
+	for _, iu := range converted {
+		s.d.Queue(iu)
+	}
+	rep, err := s.d.Flush()
+	if err != nil {
+		return nil, err
+	}
+	return sessionReportOf(rep), nil
+}
+
+// Queue appends an update to the log without applying it; the next
+// Apply or Flush absorbs the whole log as one batch.
+func (s *Session) Queue(u Update) error {
+	iu, err := u.internal()
+	if err != nil {
+		return err
+	}
+	s.d.Queue(iu)
+	return nil
+}
+
+// Flush absorbs the queued update log as one batch.
+func (s *Session) Flush() (*SessionReport, error) {
+	rep, err := s.d.Flush()
+	if err != nil {
+		return nil, err
+	}
+	return sessionReportOf(rep), nil
+}
+
+// Network returns a deep copy of the live network.
+func (s *Session) Network() *Network { return &Network{g: s.d.Graph().Clone()} }
+
+// N returns the number of nodes.
+func (s *Session) N() int { return s.d.Graph().N() }
+
+// M returns the number of edges.
+func (s *Session) M() int { return s.d.Graph().M() }
+
+// Generation counts absorbed batches.
+func (s *Session) Generation() uint64 { return s.d.Generation() }
+
+// Certified reports whether the current assignment was accepted.
+func (s *Session) Certified() bool { return s.d.Certified() }
+
+// ActiveScheme returns the scheme currently certifying the network.
+func (s *Session) ActiveScheme() SchemeName { return SchemeName(s.d.ActiveScheme().Name()) }
+
+// Last returns the report of the most recent batch (generation 0 is the
+// initial certification).
+func (s *Session) Last() *SessionReport { return sessionReportOf(s.d.Last()) }
+
+// Certificates returns a deep copy of the current assignment, so
+// callers mutating the map or its byte slices cannot corrupt the
+// session's internal state.
+func (s *Session) Certificates() Certificates {
+	return cloneCertificates(Certificates(s.d.Certificates()))
+}
+
+// Verify re-runs the active scheme's full 1-round verification over the
+// live network with the session's certificates — the parity baseline
+// against a fresh Certify+Verify.
+func (s *Session) Verify() *Report {
+	return reportOf(s.d.VerifyFull())
+}

@@ -1,0 +1,211 @@
+package planarcert_test
+
+import (
+	"math/rand"
+	"testing"
+
+	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/gen"
+)
+
+func triangulationNetwork(n int, seed int64) *planarcert.Network {
+	rng := rand.New(rand.NewSource(seed))
+	return planarcert.FromGraph(gen.StackedTriangulation(n, rng))
+}
+
+// TestSessionLifecycle exercises the public incremental API end to end:
+// initial certification, localized repair, cache-backed flip and back.
+func TestSessionLifecycle(t *testing.T) {
+	net := triangulationNetwork(90, 11)
+	s, err := planarcert.NewSession(net, planarcert.SchemePlanarity, planarcert.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Certified() || s.ActiveScheme() != planarcert.SchemePlanarity {
+		t.Fatalf("initial state: %+v", s.Last())
+	}
+	if rep := s.Verify(); !rep.Accepted {
+		t.Fatalf("initial full verify rejected: %v", rep.Reasons)
+	}
+
+	// The session owns a clone: mutating the original network is invisible.
+	ids := net.IDs()
+	net.RemoveEdge(ids[0], ids[1])
+	if s.M() == net.M() {
+		t.Fatal("session shares the caller's network")
+	}
+
+	// Oscillate an edge and demand at least one localized repair.
+	sawRepair := false
+	for _, a := range ids[:20] {
+		for _, b := range s.Network().Neighbors(a) {
+			rep, err := s.Apply([]planarcert.Update{planarcert.EdgeRemove(a, b)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Mode == "repair" {
+				sawRepair = true
+				if rep.FullVerify || rep.Verified >= s.N() {
+					t.Fatalf("repair re-verified the whole network: %+v", rep)
+				}
+			}
+			if _, err := s.Apply([]planarcert.Update{planarcert.EdgeAdd(a, b)}); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Certified() {
+				t.Fatalf("lost certification on oscillation of {%d,%d}", a, b)
+			}
+			break
+		}
+		if sawRepair {
+			break
+		}
+	}
+	if !sawRepair {
+		t.Fatal("no oscillation was absorbed as a localized repair")
+	}
+
+	// Parity: the session state verifies exactly like a fresh pipeline.
+	if rep := s.Verify(); !rep.Accepted {
+		t.Fatalf("session state rejected: %v", rep.Reasons)
+	}
+	fresh, err := planarcert.CertifyAndVerify(s.Network(), s.ActiveScheme())
+	if err != nil || !fresh.Accepted {
+		t.Fatalf("fresh certification disagrees: %v %v", err, fresh)
+	}
+}
+
+// TestSessionFlipPublic drives the session across the planarity
+// boundary through the public API.
+func TestSessionFlipPublic(t *testing.T) {
+	net := planarcert.NewNetwork()
+	for id := planarcert.NodeID(0); id < 5; id++ {
+		if err := net.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a := planarcert.NodeID(0); a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			if a == 0 && b == 1 {
+				continue // K5 minus one edge: planar
+			}
+			if err := net.AddEdge(a, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s, err := planarcert.NewSession(net, planarcert.SchemePlanarity, planarcert.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Apply([]planarcert.Update{planarcert.EdgeAdd(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "flip" || s.ActiveScheme() != planarcert.SchemeNonPlanarity || !rep.Accepted {
+		t.Fatalf("completing K5: %+v", rep)
+	}
+	rep, err = s.Apply([]planarcert.Update{planarcert.EdgeRemove(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ActiveScheme() != planarcert.SchemePlanarity || !rep.Accepted {
+		t.Fatalf("rolling back: %+v", rep)
+	}
+	if rep.Mode != "cache" {
+		t.Fatalf("rollback should hit the certificate cache, got %s", rep.Mode)
+	}
+}
+
+// TestCertifyReturnsDefensiveCopies is the regression test for the
+// aliasing bug class: callers mutating a returned Certificates map (or
+// the bytes inside) must not corrupt later certifications or a
+// session's internal state.
+func TestCertifyReturnsDefensiveCopies(t *testing.T) {
+	net := triangulationNetwork(40, 12)
+	certs1, err := planarcert.Certify(net, planarcert.SchemePlanarity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trash every byte the caller can reach.
+	for id, c := range certs1 {
+		for i := range c.Data {
+			c.Data[i] = 0xff
+		}
+		c.Bits = 1
+		certs1[id] = c
+	}
+	certs2, err := planarcert.Certify(net, planarcert.SchemePlanarity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := planarcert.Verify(net, planarcert.SchemePlanarity, certs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Fatalf("mutation of an earlier result corrupted a fresh certification: %v", rep.Reasons)
+	}
+}
+
+// TestSessionCertificatesDefensiveCopies checks the same property on
+// the session, whose internals genuinely retain certificate state.
+func TestSessionCertificatesDefensiveCopies(t *testing.T) {
+	net := triangulationNetwork(40, 13)
+	s, err := planarcert.NewSession(net, planarcert.SchemePlanarity, planarcert.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen := s.Certificates()
+	for id, c := range stolen {
+		for i := range c.Data {
+			c.Data[i] ^= 0xaa
+		}
+		stolen[id] = c
+	}
+	if rep := s.Verify(); !rep.Accepted {
+		t.Fatalf("mutating Certificates() corrupted the session: %v", rep.Reasons)
+	}
+	// And the copy really is a snapshot of valid certificates.
+	fresh := s.Certificates()
+	rep, err := planarcert.Verify(s.Network(), s.ActiveScheme(), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Fatalf("Certificates() snapshot does not verify: %v", rep.Reasons)
+	}
+}
+
+// TestSessionQueueFlushPublic checks the update-log API.
+func TestSessionQueueFlushPublic(t *testing.T) {
+	net := planarcert.NewNetwork()
+	s, err := planarcert.NewSession(net, planarcert.SchemePlanarity, planarcert.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Certified() {
+		t.Fatal("empty network reported certified")
+	}
+	// Grow a triangle through the log.
+	for id := planarcert.NodeID(0); id < 3; id++ {
+		if err := s.Queue(planarcert.NodeAdd(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]planarcert.NodeID{{0, 1}, {1, 2}, {2, 0}} {
+		if err := s.Queue(planarcert.EdgeAdd(e[0], e[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.N() != 0 {
+		t.Fatal("Queue applied updates early")
+	}
+	rep, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted || s.N() != 3 || s.M() != 3 {
+		t.Fatalf("triangle growth: %+v (n=%d m=%d)", rep, s.N(), s.M())
+	}
+}
