@@ -20,6 +20,7 @@ func TestBenchSnapshotsWellFormed(t *testing.T) {
 	type snapshot struct {
 		Note       string  `json:"note"`
 		Date       string  `json:"date"`
+		Sessions   int     `json:"sessions"`
 		Benchmarks []entry `json:"benchmarks"`
 	}
 	for file, want := range map[string][]string{
@@ -28,6 +29,10 @@ func TestBenchSnapshotsWellFormed(t *testing.T) {
 			"BenchmarkDynamicUpdate/n=50000/session",
 			"BenchmarkDynamicUpdate/n=50000/full",
 			"BenchmarkDynamicCacheOscillation",
+		},
+		"BENCH_server.json": {
+			"ServerLoad/sessions=64/batch",
+			"ServerLoad/sessions=64/update",
 		},
 	} {
 		raw, err := os.ReadFile(file)
@@ -81,5 +86,19 @@ func TestBenchSnapshotsWellFormed(t *testing.T) {
 	}
 	if full < 10*session {
 		t.Fatalf("committed snapshot violates the 10x bar: session %d ns, full %d ns", session, full)
+	}
+
+	// The acceptance bar of the server subsystem: the committed load run
+	// drove at least 50 concurrent sessions.
+	raw, err = os.ReadFile("BENCH_server.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srv snapshot
+	if err := json.Unmarshal(raw, &srv); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Sessions < 50 {
+		t.Fatalf("BENCH_server.json: load run used %d concurrent sessions, want >= 50", srv.Sessions)
 	}
 }

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments -run E3    # run one experiment
+//	experiments                 # run everything
+//	experiments -run E3         # run one experiment
+//	experiments serverload      # planarcertd load generator (BENCH_server.json)
 package main
 
 import (
@@ -30,6 +31,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serverload" {
+		if err := serverLoad(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "serverload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	run := flag.String("run", "", "experiment to run (E1..E10); empty = all")
 	seed := flag.Int64("seed", 2020, "random seed")
 	flag.Parse()

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/planarcert/planarcert/internal/server"
+)
+
+// serverLoad is the planarcertd load generator: it mounts the server
+// in-process, drives N concurrent sessions over real HTTP — each with
+// its own random chord add/remove stream and an attached watch stream —
+// and records a throughput snapshot (committed as BENCH_server.json and
+// guarded by TestBenchSnapshotsWellFormed).
+func serverLoad(args []string) error {
+	fs := flag.NewFlagSet("serverload", flag.ExitOnError)
+	sessions := fs.Int("sessions", 64, "concurrent sessions to drive")
+	batches := fs.Int("batches", 24, "update batches per session")
+	ops := fs.Int("ops", 4, "updates per batch")
+	nodes := fs.Int("n", 200, "initial nodes per session network")
+	budget := fs.Int("budget", 0, "shared verification worker slots (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 2020, "random seed")
+	out := fs.String("out", "BENCH_server.json", "snapshot output path (empty = stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		MaxSessions: *sessions + 8,
+		BudgetSlots: *budget,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	var (
+		totalBatches atomic.Int64
+		totalUpdates atomic.Int64
+		watchEvents  atomic.Int64
+		latencyMu    sync.Mutex
+		latencies    []time.Duration
+	)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, *sessions)
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := driveSession(ts.URL, fmt.Sprintf("load%03d", i), *nodes, *batches, *ops,
+				rand.New(rand.NewSource(*seed+int64(i))),
+				&totalBatches, &totalUpdates, &watchEvents,
+				func(d time.Duration) {
+					latencyMu.Lock()
+					latencies = append(latencies, d)
+					latencyMu.Unlock()
+				}); err != nil {
+				errCh <- fmt.Errorf("session %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	// Scrape the absorption-mode counters from the server itself.
+	var health struct {
+		Batches map[string]uint64 `json:"batches"`
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		return err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return err
+	}
+	resp.Body.Close()
+
+	b, u := totalBatches.Load(), totalUpdates.Load()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		return latencies[int(p*float64(len(latencies)-1))]
+	}
+
+	fmt.Printf("== serverload: %d sessions x %d batches x %d ops (n=%d) ==\n", *sessions, *batches, *ops, *nodes)
+	fmt.Printf("wall:        %.2fs\n", wall.Seconds())
+	fmt.Printf("batches:     %d (%.0f/s)\n", b, float64(b)/wall.Seconds())
+	fmt.Printf("updates:     %d (%.0f/s)\n", u, float64(u)/wall.Seconds())
+	fmt.Printf("watch:       %d reports delivered\n", watchEvents.Load())
+	fmt.Printf("latency:     p50=%s p95=%s p99=%s\n", pct(0.50), pct(0.95), pct(0.99))
+	modes := make([]string, 0, len(health.Batches))
+	for m := range health.Batches {
+		modes = append(modes, m)
+	}
+	sort.Strings(modes)
+	for _, m := range modes {
+		fmt.Printf("mode %-12s %d\n", m+":", health.Batches[m])
+	}
+
+	if *out == "" {
+		return nil
+	}
+	type benchEntry struct {
+		Name    string `json:"name"`
+		NsPerOp int64  `json:"ns_per_op"`
+	}
+	snap := struct {
+		Note       string            `json:"note"`
+		Date       string            `json:"date"`
+		Sessions   int               `json:"sessions"`
+		Batches    int64             `json:"batches"`
+		Updates    int64             `json:"updates"`
+		WallSecs   float64           `json:"wall_seconds"`
+		BatchesPS  float64           `json:"batches_per_second"`
+		UpdatesPS  float64           `json:"updates_per_second"`
+		WatchSeen  int64             `json:"watch_events"`
+		Modes      map[string]uint64 `json:"modes"`
+		Benchmarks []benchEntry      `json:"benchmarks"`
+	}{
+		Note: fmt.Sprintf("planarcertd load generator: %d concurrent sessions, %d batches each of %d updates, "+
+			"initial n=%d per session, shared worker budget, in-process HTTP; regenerate with "+
+			"`go run ./cmd/experiments serverload`", *sessions, *batches, *ops, *nodes),
+		Date:      time.Now().Format("2006-01-02"),
+		Sessions:  *sessions,
+		Batches:   b,
+		Updates:   u,
+		WallSecs:  wall.Seconds(),
+		BatchesPS: float64(b) / wall.Seconds(),
+		UpdatesPS: float64(u) / wall.Seconds(),
+		WatchSeen: watchEvents.Load(),
+		Modes:     health.Batches,
+		Benchmarks: []benchEntry{
+			{Name: fmt.Sprintf("ServerLoad/sessions=%d/batch", *sessions), NsPerOp: wall.Nanoseconds() / max(b, 1)},
+			{Name: fmt.Sprintf("ServerLoad/sessions=%d/update", *sessions), NsPerOp: wall.Nanoseconds() / max(u, 1)},
+			{Name: fmt.Sprintf("ServerLoad/sessions=%d/batch_p95", *sessions), NsPerOp: pct(0.95).Nanoseconds()},
+		},
+	}
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot:    %s\n", *out)
+	return nil
+}
+
+// driveSession runs one client: create a path network with some chords,
+// attach a watcher, stream random chord add/remove batches (tracking a
+// local mirror so every batch is structurally valid), then delete the
+// session and join the watcher.
+func driveSession(base, name string, n, batches, ops int, rng *rand.Rand,
+	totalBatches, totalUpdates, watchEvents *atomic.Int64, observe func(time.Duration)) error {
+
+	var spec bytes.Buffer
+	for i := 0; i < n-1; i++ {
+		fmt.Fprintf(&spec, "%d %d\n", i, i+1)
+	}
+	body, err := json.Marshal(map[string]interface{}{
+		"name":   name,
+		"scheme": "planarity",
+		"graph":  map[string]string{"edge_list": spec.String()},
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("create: status %d: %s", resp.StatusCode, raw)
+	}
+
+	// Watcher: counts the NDJSON reports for this session.
+	watchResp, err := http.Get(base + "/v1/sessions/" + name + "/watch")
+	if err != nil {
+		return err
+	}
+	watchDone := make(chan int64, 1)
+	go func() {
+		var seen int64
+		sc := bufio.NewScanner(watchResp.Body)
+		for sc.Scan() {
+			seen++
+		}
+		watchDone <- seen
+	}()
+
+	// Client-side mirror of the chord set; path edges are never touched,
+	// so batches cannot collide with the base topology.
+	type chord struct{ a, b int }
+	present := map[chord]bool{}
+	var added []chord
+	randomChord := func() (chord, bool) {
+		for tries := 0; tries < 32; tries++ {
+			a := rng.Intn(n - 2)
+			b := a + 2 + rng.Intn(n-a-2)
+			c := chord{a, b}
+			if !present[c] {
+				return c, true
+			}
+		}
+		return chord{}, false
+	}
+
+	for bi := 0; bi < batches; bi++ {
+		var lines strings.Builder
+		count := 0
+		for oi := 0; oi < ops; oi++ {
+			if len(added) > 0 && rng.Intn(2) == 0 {
+				k := rng.Intn(len(added))
+				c := added[k]
+				added = append(added[:k], added[k+1:]...)
+				delete(present, c)
+				fmt.Fprintf(&lines, "{\"op\":\"remove_edge\",\"a\":%d,\"b\":%d}\n", c.a, c.b)
+				count++
+				continue
+			}
+			if c, ok := randomChord(); ok {
+				present[c] = true
+				added = append(added, c)
+				fmt.Fprintf(&lines, "{\"op\":\"add_edge\",\"a\":%d,\"b\":%d}\n", c.a, c.b)
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		t0 := time.Now()
+		resp, err := http.Post(base+"/v1/sessions/"+name+"/updates", "application/x-ndjson", strings.NewReader(lines.String()))
+		if err != nil {
+			return err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("batch %d: status %d: %s", bi, resp.StatusCode, raw)
+		}
+		observe(time.Since(t0))
+		totalBatches.Add(1)
+		totalUpdates.Add(int64(count))
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+name, nil)
+	if err != nil {
+		return err
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("delete: status %d", resp.StatusCode)
+	}
+	watchEvents.Add(<-watchDone)
+	watchResp.Body.Close()
+	return nil
+}

@@ -1,0 +1,90 @@
+// Command planarcertd serves compact planarity certification over
+// HTTP/JSON: named incremental sessions (create, stream updates, watch
+// absorption reports, delete) plus stateless one-shot certify/verify,
+// health and Prometheus metrics.
+//
+// Usage:
+//
+//	planarcertd -addr :7420 -budget 8 -max-sessions 1024
+//
+// Quick round trip:
+//
+//	curl -s localhost:7420/healthz
+//	curl -s -X POST localhost:7420/v1/sessions \
+//	     -d '{"name":"s1","scheme":"planarity","graph":{"edges":[[0,1],[1,2],[2,0]]}}'
+//	curl -s -X POST 'localhost:7420/v1/sessions/s1/updates' \
+//	     -d '{"op":"add_node","a":3}
+//	{"op":"add_edge","a":2,"b":3}'
+//	curl -s localhost:7420/v1/sessions/s1/watch   # streams NDJSON reports
+//	curl -s -X DELETE localhost:7420/v1/sessions/s1
+//
+// All sessions share one bounded verification worker budget (-budget),
+// so heavy traffic degrades gracefully toward per-session sequential
+// verification instead of oversubscribing the machine.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7420", "listen address")
+	budget := flag.Int("budget", 0, "shared verification worker slots across all sessions (0 = GOMAXPROCS)")
+	maxSessions := flag.Int("max-sessions", 1024, "maximum number of live sessions")
+	watchBuffer := flag.Int("watch-buffer", 16, "per-watcher report buffer before drops")
+	workers := flag.Int("workers", 0, "per-verification worker bound (0 = GOMAXPROCS)")
+	shard := flag.Int("shard", 0, "nodes a worker claims per handoff (0 = engine default)")
+	seq := flag.Bool("seq", false, "force single-goroutine verification per session")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxSessions: *maxSessions,
+		BudgetSlots: *budget,
+		WatchBuffer: *watchBuffer,
+		Engine: planarcert.EngineConfig{
+			Sequential: *seq,
+			Workers:    *workers,
+			ShardSize:  *shard,
+		},
+	})
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// No WriteTimeout: watch streams are long-lived by design.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("planarcertd listening on %s (budget=%d slots, max %d sessions)",
+		*addr, *budget, *maxSessions)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("planarcertd shutting down")
+	case err := <-errCh:
+		log.Fatalf("planarcertd: %v", err)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Close() // terminates watch streams so Shutdown can drain
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("planarcertd: shutdown: %v", err)
+	}
+}

@@ -1,16 +1,3 @@
-// Package core implements the contribution of Feuilloley, Fraigniaud,
-// Rapaport, Rémila, Montealegre and Todinca, "Compact Distributed
-// Certification of Planar Graphs" (PODC 2020):
-//
-//   - the proof-labeling scheme for path-outerplanar graphs
-//     (Section 3.1, Lemma 2 / Algorithm 1),
-//   - the transformation of a planar graph into a path-outerplanar graph
-//     by cutting along a spanning tree (Section 3.2, Lemmas 3-4),
-//   - the 1-round proof-labeling scheme for planarity with O(log n)-bit
-//     certificates (Section 3.3, Theorem 1 / Algorithm 2),
-//   - the folklore proof-labeling scheme for NON-planarity via Kuratowski
-//     subdivisions (Section 2),
-//   - the cycle-outerplanarity scheme sketched in the conclusion.
 package core
 
 import (
@@ -43,6 +30,7 @@ func (i Interval) StrictlyInside(o Interval) bool {
 	return o.A <= i.A && i.B <= o.B && (o.A < i.A || i.B < o.B)
 }
 
+// String renders the interval as "[A,B]".
 func (i Interval) String() string { return fmt.Sprintf("[%d,%d]", i.A, i.B) }
 
 // ErrCrossing reports that two edges cross, i.e. the vertex ordering is

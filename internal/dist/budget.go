@@ -1,0 +1,59 @@
+package dist
+
+// Budget is a shared, bounded pool of verification-worker slots. Many
+// engines — one per live server session, for example — can draw their
+// parallel fan-out from one Budget so that the process-wide number of
+// extra verification goroutines stays bounded no matter how many
+// verifications run at once.
+//
+// The bound applies to *extra* workers only: every RunPLS keeps one
+// worker regardless of slot availability, so a verification never
+// blocks on (or deadlocks through) the budget — an exhausted budget
+// degrades a run to sequential execution instead of stalling it. With
+// S slots and E concurrent engine runs the fleet therefore uses at
+// most S+E verification goroutines.
+//
+// A Budget is safe for concurrent use. The zero *Budget (nil) means
+// unlimited: engines without a budget size their pools by Workers and
+// GOMAXPROCS alone.
+type Budget struct {
+	sem chan struct{}
+}
+
+// NewBudget returns a budget with the given number of extra-worker
+// slots. Slots below 1 are clamped to 1 so a budget always admits some
+// parallelism.
+func NewBudget(slots int) *Budget {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Budget{sem: make(chan struct{}, slots)}
+}
+
+// Slots returns the configured slot count.
+func (b *Budget) Slots() int { return cap(b.sem) }
+
+// InUse returns the number of slots currently held.
+func (b *Budget) InUse() int { return len(b.sem) }
+
+// tryAcquire takes one slot if one is immediately available; it never
+// blocks.
+func (b *Budget) tryAcquire() bool {
+	select {
+	case b.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a slot taken by tryAcquire.
+func (b *Budget) release() { <-b.sem }
+
+// Limit makes the engine draw its extra parallel workers from the
+// shared budget: worker 0 of each RunPLS always runs, workers 1..k-1
+// each need a free slot at spawn time and return theirs when the run
+// completes. Engines sharing a Budget thus degrade gracefully toward
+// sequential execution under load instead of oversubscribing the
+// machine.
+func Limit(b *Budget) Option { return func(e *Engine) { e.budget = b } }

@@ -61,6 +61,7 @@ type Engine struct {
 	workers   int
 	shardSize int
 	failFast  bool
+	budget    *Budget
 }
 
 // Option configures an Engine at construction.
@@ -218,9 +219,22 @@ func (e *Engine) verifyParallel(lay *layout, verify func(View) error) {
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		// Worker 0 always runs so the verification makes progress even
+		// when a shared budget is exhausted; every further worker needs a
+		// free budget slot at spawn time (see Limit).
+		budgeted := false
+		if w > 0 && e.budget != nil {
+			if !e.budget.tryAcquire() {
+				break
+			}
+			budgeted = true
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if budgeted {
+				defer e.budget.release()
+			}
 			for {
 				if e.failFast && stop.Load() {
 					return

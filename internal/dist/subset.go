@@ -114,9 +114,22 @@ func (e *Engine) subsetParallel(sub []int, certs map[graph.ID]bits.Certificate, 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		// Same budget discipline as verifyParallel: worker 0 always runs,
+		// the rest each need a free slot from the shared budget (see
+		// Limit) so frontier sweeps across many sessions stay bounded.
+		budgeted := false
+		if w > 0 && e.budget != nil {
+			if !e.budget.tryAcquire() {
+				break
+			}
+			budgeted = true
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if budgeted {
+				defer e.budget.release()
+			}
 			for {
 				if e.failFast && stop.Load() {
 					return

@@ -1,0 +1,47 @@
+// Package dynamic maintains proof-labeling-scheme certificates for a
+// mutable network under a live stream of topology updates, so that a
+// steady-state update costs work proportional to the change rather than
+// to the network size.
+//
+// A Session owns a mutable graph together with its current certificate
+// assignment. Updates (edge insertions/removals, node additions) are
+// queued into an update log and applied in batches. Per batch the
+// maintainer:
+//
+//  1. computes the net effect and the *dirty region* (endpoints of
+//     changed edges plus the nodes whose certificates the repair
+//     touches);
+//  2. attempts a localized certificate repair — chord (cotree-edge)
+//     insertion/removal with interval patching on the spanning-path
+//     proof for the planarity scheme, spanning-tree surgery (subtree
+//     re-rooting with distance/size patching) for the spanning-tree and
+//     non-planarity schemes — bounded by a configurable scope threshold;
+//  3. re-verifies only the *frontier* — the dirty region plus its 1-hop
+//     closure — through dist.RunPLSSubset;
+//  4. falls back to a full re-prove (optionally flipping between the
+//     planarity and Kuratowski-witness schemes when planarity itself
+//     flips) whenever repair is impossible, out of scope, or rejected
+//     by the frontier; a generation-stamped certificate cache keyed by
+//     an incremental graph fingerprint short-circuits re-proves for
+//     previously-certified topologies (oscillating overlay workloads).
+//
+// Frontier soundness. A proof-labeling verifier is local: node u's
+// verdict depends only on its 1-round view (its own identifier, degree
+// and certificate, plus each neighbor's identifier and certificate).
+// If a batch changes certificates only at a node set D and edges only
+// between nodes of D, then every node outside D ∪ N(D) has a
+// bit-identical view before and after the batch, hence an unchanged
+// verdict. Starting from a globally accepted assignment, re-verifying
+// D ∪ N(D) therefore decides global acceptance exactly — this is the
+// local checkability of certificates that makes incremental
+// maintenance sound regardless of how clever (or wrong) the repair
+// heuristic is: a bad repair is caught on the frontier and demoted to a
+// full re-prove.
+//
+// Concurrency. A Session is deliberately single-goroutine: it has no
+// internal locking, and callers that share one session across
+// goroutines must serialize every method. The planarcertd server
+// (internal/server) wraps each session in exactly such a serialization
+// layer and bounds the verification fan-out of many concurrent sessions
+// with a shared dist.Budget.
+package dynamic

@@ -399,12 +399,12 @@ func TestBatchValidation(t *testing.T) {
 	}
 	n, m, gen0 := s.Graph().N(), s.Graph().M(), s.Generation()
 	cases := [][]Update{
-		{{Op: AddEdge, A: 0, B: 0}},                       // self-loop
-		{{Op: AddEdge, A: 0, B: 99}},                      // unknown endpoint
-		{{Op: AddEdge, A: 0, B: 1}},                       // duplicate edge
-		{{Op: RemoveEdge, A: 0, B: 2}},                    // absent edge
-		{{Op: AddNode, A: 3}},                             // duplicate node
-		{{Op: AddEdge, A: 0, B: 2}, {Op: AddNode, A: 4}},  // valid then invalid
+		{{Op: AddEdge, A: 0, B: 0}},                            // self-loop
+		{{Op: AddEdge, A: 0, B: 99}},                           // unknown endpoint
+		{{Op: AddEdge, A: 0, B: 1}},                            // duplicate edge
+		{{Op: RemoveEdge, A: 0, B: 2}},                         // absent edge
+		{{Op: AddNode, A: 3}},                                  // duplicate node
+		{{Op: AddEdge, A: 0, B: 2}, {Op: AddNode, A: 4}},       // valid then invalid
 		{{Op: AddEdge, A: 0, B: 2}, {Op: AddEdge, A: 0, B: 2}}, // in-batch duplicate
 	}
 	for i, batch := range cases {

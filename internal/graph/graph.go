@@ -1,11 +1,3 @@
-// Package graph provides the undirected simple-graph representation used
-// throughout the planarcert library.
-//
-// Graphs distinguish between node *indices* (dense, 0..n-1, used internally
-// for array addressing) and node *identifiers* (arbitrary distinct values
-// from a range polynomial in n, as in the model of Feuilloley et al., PODC
-// 2020). Distributed verifiers only ever see identifiers; algorithms that
-// run on the prover side may use indices.
 package graph
 
 import (

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// verifyBuckets are the latency histogram upper bounds, in seconds.
+// They span the observed range from a cached 50-node flush (~10µs) to a
+// full re-prove of a 100k-node network (~seconds).
+var verifyBuckets = []float64{
+	1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1, 5,
+}
+
+// histogram is a fixed-bucket latency histogram in the Prometheus
+// cumulative-bucket style. Safe for concurrent use.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; the last bucket is +Inf
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// observe records one sample, in seconds.
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// write emits the histogram in Prometheus text exposition format.
+func (h *histogram) write(w io.Writer, name, help string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}
+
+// metrics aggregates the daemon's operational counters. All fields are
+// safe for concurrent use; the /metrics handler renders them in
+// Prometheus text exposition format.
+type metrics struct {
+	sessionsCreated atomic.Uint64
+	sessionsDeleted atomic.Uint64
+	updatesTotal    atomic.Uint64
+	batchesRejected atomic.Uint64
+	watchEvents     atomic.Uint64
+	watchDropped    atomic.Uint64
+	httpRequests    atomic.Uint64
+
+	modeMu sync.Mutex
+	modes  map[string]uint64 // flushed batches by absorption mode
+
+	batchSeconds  *histogram // end-to-end flush latency (repair/prove + verify)
+	verifySeconds *histogram // explicit full-verification latency
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		modes:         make(map[string]uint64),
+		batchSeconds:  newHistogram(verifyBuckets),
+		verifySeconds: newHistogram(verifyBuckets),
+	}
+}
+
+// batchDone records one successfully flushed batch.
+func (m *metrics) batchDone(mode string, updates int, seconds float64) {
+	m.updatesTotal.Add(uint64(updates))
+	m.modeMu.Lock()
+	m.modes[mode]++
+	m.modeMu.Unlock()
+	m.batchSeconds.observe(seconds)
+}
+
+// modeCounts returns a copy of the per-mode batch counters.
+func (m *metrics) modeCounts() map[string]uint64 {
+	m.modeMu.Lock()
+	defer m.modeMu.Unlock()
+	out := make(map[string]uint64, len(m.modes))
+	for k, v := range m.modes {
+		out[k] = v
+	}
+	return out
+}
+
+// write renders every metric. activeSessions and budget usage are live
+// gauges owned by the Server, passed in at render time.
+func (m *metrics) write(w io.Writer, activeSessions, watchers, budgetSlots, budgetInUse int) {
+	gauge := func(name, help string, v interface{}) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("planarcertd_sessions_active", "Number of live certification sessions.", activeSessions)
+	gauge("planarcertd_watchers_active", "Number of open watch streams.", watchers)
+	gauge("planarcertd_worker_budget_slots", "Extra verification worker slots shared by all sessions.", budgetSlots)
+	gauge("planarcertd_worker_budget_in_use", "Extra verification worker slots currently held.", budgetInUse)
+	counter("planarcertd_sessions_created_total", "Sessions created since start.", m.sessionsCreated.Load())
+	counter("planarcertd_sessions_deleted_total", "Sessions deleted since start.", m.sessionsDeleted.Load())
+	counter("planarcertd_updates_total", "Topology updates absorbed across all sessions.", m.updatesTotal.Load())
+	counter("planarcertd_batches_rejected_total", "Update batches rejected by validation.", m.batchesRejected.Load())
+	counter("planarcertd_watch_events_total", "Session reports delivered to watchers.", m.watchEvents.Load())
+	counter("planarcertd_watch_dropped_total", "Session reports dropped on slow watchers.", m.watchDropped.Load())
+	counter("planarcertd_http_requests_total", "HTTP requests served.", m.httpRequests.Load())
+
+	fmt.Fprintf(w, "# HELP planarcertd_batches_total Flushed batches by absorption mode (repair vs reprove vs cache ...).\n")
+	fmt.Fprintf(w, "# TYPE planarcertd_batches_total counter\n")
+	counts := m.modeCounts()
+	modes := make([]string, 0, len(counts))
+	for mode := range counts {
+		modes = append(modes, mode)
+	}
+	sort.Strings(modes)
+	for _, mode := range modes {
+		fmt.Fprintf(w, "planarcertd_batches_total{mode=%q} %d\n", mode, counts[mode])
+	}
+
+	m.batchSeconds.write(w, "planarcertd_batch_seconds", "End-to-end flush latency (repair/re-prove + verification).")
+	m.verifySeconds.write(w, "planarcertd_verify_seconds", "Full 1-round verification latency.")
+}

@@ -1,0 +1,573 @@
+// Package server implements planarcertd's HTTP/JSON service surface: a
+// registry of named, concurrent certification sessions on top of
+// planarcert.Session, plus one-shot certify/verify endpoints, streaming
+// watch, health and Prometheus metrics.
+//
+// Verification of a proof-labeling scheme is a stateless 1-round
+// operation (every node decides from its 1-hop view), which makes it a
+// natural network service: the only state worth keeping server-side is
+// the incremental-repair state of a Session. The server therefore
+// manages many independent sessions, each serialized behind its own
+// mutex (planarcert.Session is single-goroutine by contract), while all
+// of them draw their parallel verification fan-out from one shared
+// planarcert.WorkerBudget so that N concurrent flushes cannot
+// oversubscribe the machine.
+//
+// Endpoints (all request/response bodies are JSON; see api.go for the
+// wire types):
+//
+//	GET    /healthz                        liveness + session/batch counters
+//	GET    /metrics                        Prometheus text exposition
+//	GET    /v1/schemes                     available scheme names
+//	POST   /v1/certify                     one-shot prove + verify
+//	POST   /v1/verify                      one-shot verify of a given assignment
+//	POST   /v1/sessions                    create a named session
+//	GET    /v1/sessions                    list sessions
+//	GET    /v1/sessions/{name}             session status
+//	DELETE /v1/sessions/{name}             delete (terminates watch streams)
+//	POST   /v1/sessions/{name}/updates     NDJSON update batch; ?mode=apply|queue
+//	POST   /v1/sessions/{name}/flush       absorb the queued log as one batch
+//	POST   /v1/sessions/{name}/verify      full 1-round re-verification
+//	GET    /v1/sessions/{name}/certificates  current assignment
+//	GET    /v1/sessions/{name}/watch       chunked NDJSON stream of SessionReports
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	planarcert "github.com/planarcert/planarcert"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// MaxSessions bounds the number of live sessions (0 = 1024).
+	MaxSessions int
+	// BudgetSlots sizes the shared verification worker budget
+	// (0 = GOMAXPROCS).
+	BudgetSlots int
+	// Engine is the base engine configuration given to every session and
+	// one-shot verification; its Budget field is overwritten with the
+	// server's shared budget.
+	Engine planarcert.EngineConfig
+	// WatchBuffer is the per-watcher channel depth before reports are
+	// dropped on a slow consumer (0 = 16).
+	WatchBuffer int
+	// MaxBatchUpdates bounds the number of NDJSON lines accepted in one
+	// updates request (0 = 65536).
+	MaxBatchUpdates int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.BudgetSlots <= 0 {
+		c.BudgetSlots = runtime.GOMAXPROCS(0)
+	}
+	if c.WatchBuffer <= 0 {
+		c.WatchBuffer = 16
+	}
+	if c.MaxBatchUpdates <= 0 {
+		c.MaxBatchUpdates = 65536
+	}
+	return c
+}
+
+// Server is the planarcertd HTTP handler. Construct with New, mount via
+// Handler, and Close on shutdown to terminate open watch streams.
+type Server struct {
+	cfg    Config
+	budget *planarcert.WorkerBudget
+	met    *metrics
+	start  time.Time
+	mux    *http.ServeMux
+
+	mu       sync.RWMutex
+	sessions map[string]*session
+	closing  bool
+}
+
+// New returns a ready-to-mount server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		budget:   planarcert.NewWorkerBudget(cfg.BudgetSlots),
+		met:      newMetrics(),
+		start:    time.Now(),
+		mux:      http.NewServeMux(),
+		sessions: make(map[string]*session),
+	}
+	s.cfg.Engine.Budget = s.budget
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	s.mux.HandleFunc("POST /v1/certify", s.handleCertify)
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	s.mux.HandleFunc("GET /v1/sessions/{name}", s.handleSessionStatus)
+	s.mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/updates", s.handleUpdates)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/flush", s.handleFlush)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/verify", s.handleSessionVerify)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/certificates", s.handleCertificates)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/watch", s.handleWatch)
+	return s
+}
+
+// Handler returns the HTTP handler with request accounting.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.httpRequests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close deletes every session, terminating their watch streams, and
+// refuses further session creation (503), so an HTTP Shutdown started
+// right after cannot be wedged by a freshly created watch stream. It is
+// the daemon's shutdown hook.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closing = true
+	all := make([]*session, 0, len(s.sessions))
+	for name, ms := range s.sessions {
+		all = append(all, ms)
+		delete(s.sessions, name)
+	}
+	s.mu.Unlock()
+	for _, ms := range all {
+		ms.close()
+		s.met.sessionsDeleted.Add(1)
+	}
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sessions)
+}
+
+func (s *Server) lookup(name string) *session {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sessions[name]
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, APIError{Error: fmt.Sprintf(format, args...)})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func schemeOrDefault(name planarcert.SchemeName) planarcert.SchemeName {
+	if name == "" {
+		return planarcert.SchemePlanarity
+	}
+	return name
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		Sessions:      s.SessionCount(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Batches:       s.met.modeCounts(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	active := len(s.sessions)
+	watchers := 0
+	for _, ms := range s.sessions {
+		ms.watchMu.Lock()
+		watchers += len(ms.watchers)
+		ms.watchMu.Unlock()
+	}
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, active, watchers, s.budget.Slots(), s.budget.InUse())
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, planarcert.Schemes())
+}
+
+func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	var req CertifyRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	net, err := req.Graph.Network()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad graph: %v", err)
+		return
+	}
+	scheme := schemeOrDefault(req.Scheme)
+	certs, err := planarcert.Certify(net, scheme)
+	if err != nil {
+		if errors.Is(err, planarcert.ErrUnknownScheme) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			writeError(w, http.StatusUnprocessableEntity, "prover: %v", err)
+		}
+		return
+	}
+	start := time.Now()
+	rep, err := planarcert.VerifyWith(net, scheme, certs, s.cfg.Engine)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "verify: %v", err)
+		return
+	}
+	s.met.verifySeconds.observe(time.Since(start).Seconds())
+	resp := CertifyResponse{Report: rep}
+	if req.IncludeCertificates {
+		resp.Certificates = wireCertificates(certs)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	net, err := req.Graph.Network()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad graph: %v", err)
+		return
+	}
+	start := time.Now()
+	rep, err := planarcert.VerifyWith(net, schemeOrDefault(req.Scheme), unwireCertificates(req.Certificates), s.cfg.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.met.verifySeconds.observe(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "session name is required")
+		return
+	}
+	// Cheap admission check before the (potentially expensive) initial
+	// certification, so duplicate names, a full registry, or a closing
+	// server reject in O(1) instead of proving first and failing after.
+	// The authoritative re-check happens at insertion below.
+	if !s.admit(w, req.Name) {
+		return
+	}
+	net, err := req.Graph.Network()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad graph: %v", err)
+		return
+	}
+	var opts []planarcert.SessionOption
+	if req.RepairThreshold != 0 {
+		opts = append(opts, planarcert.WithRepairThreshold(req.RepairThreshold))
+	}
+	if req.CacheSize != 0 {
+		opts = append(opts, planarcert.WithCacheSize(req.CacheSize))
+	}
+	if req.NoFlip {
+		opts = append(opts, planarcert.WithoutFlip())
+	}
+	scheme := schemeOrDefault(req.Scheme)
+	ps, err := planarcert.NewSession(net, scheme, s.cfg.Engine, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ms := newSession(req.Name, scheme, ps, s.cfg.WatchBuffer)
+	ms.broadcastHook = func(delivered, dropped int) {
+		s.met.watchEvents.Add(uint64(delivered))
+		s.met.watchDropped.Add(uint64(dropped))
+	}
+
+	s.mu.Lock()
+	if !s.admitLocked(w, req.Name) {
+		s.mu.Unlock()
+		return
+	}
+	s.sessions[req.Name] = ms
+	s.mu.Unlock()
+	s.met.sessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, ms.status())
+}
+
+// admit checks the session-creation preconditions under a read lock and
+// writes the rejection response if any fails.
+func (s *Server) admit(w http.ResponseWriter, name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.admitLocked(w, name)
+}
+
+// admitLocked is admit's body; the caller holds s.mu (read or write).
+func (s *Server) admitLocked(w http.ResponseWriter, name string) bool {
+	switch {
+	case s.closing:
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return false
+	case s.sessions[name] != nil:
+		writeError(w, http.StatusConflict, "session %q already exists", name)
+		return false
+	case len(s.sessions) >= s.cfg.MaxSessions:
+		writeError(w, http.StatusTooManyRequests, "session limit reached (%d)", s.cfg.MaxSessions)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	all := make([]*session, 0, len(s.sessions))
+	for _, ms := range s.sessions {
+		all = append(all, ms)
+	}
+	s.mu.RUnlock()
+	out := make([]*SessionStatus, 0, len(all))
+	for _, ms := range all {
+		out = append(out, ms.status())
+	}
+	sortStatuses(out)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	ms := s.lookup(r.PathValue("name"))
+	if ms == nil {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ms.status())
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	ms := s.sessions[name]
+	delete(s.sessions, name)
+	s.mu.Unlock()
+	if ms == nil {
+		writeError(w, http.StatusNotFound, "no session %q", name)
+		return
+	}
+	ms.close()
+	s.met.sessionsDeleted.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleUpdates reads an NDJSON body of UpdateLine records. mode=apply
+// (the default) queues and flushes them as one batch; mode=queue only
+// appends to the session log for a later flush.
+//
+// The session has ONE update log (planarcert.Session semantics): apply
+// and flush absorb the entire pending log, including updates other
+// clients queued earlier — the returned Report.Updates counts them all.
+// A structurally invalid batch is rejected and the WHOLE log discarded,
+// again including previously queued updates; clients mixing queue-mode
+// writers must coordinate or accept that coupling.
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	ms := s.lookup(r.PathValue("name"))
+	if ms == nil {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "apply"
+	}
+	if mode != "apply" && mode != "queue" {
+		writeError(w, http.StatusBadRequest, "mode must be apply or queue, got %q", mode)
+		return
+	}
+
+	var updates []planarcert.Update
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, 64<<20))
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if len(updates) >= s.cfg.MaxBatchUpdates {
+			writeError(w, http.StatusRequestEntityTooLarge, "batch exceeds %d updates", s.cfg.MaxBatchUpdates)
+			return
+		}
+		var ul UpdateLine
+		if err := json.Unmarshal(raw, &ul); err != nil {
+			writeError(w, http.StatusBadRequest, "line %d: %v", line, err)
+			return
+		}
+		u, err := ul.Update()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "line %d: %v", line, err)
+			return
+		}
+		updates = append(updates, u)
+	}
+	if err := sc.Err(); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+
+	if mode == "queue" {
+		pending := ms.queue(updates)
+		writeJSON(w, http.StatusAccepted, UpdatesResponse{Queued: len(updates), Pending: pending})
+		return
+	}
+
+	rep, elapsed, err := ms.apply(updates)
+	if err != nil {
+		s.met.batchesRejected.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, "batch rejected: %v", err)
+		return
+	}
+	s.met.batchDone(rep.Mode, rep.Updates, elapsed.Seconds())
+	writeJSON(w, http.StatusOK, UpdatesResponse{Queued: len(updates), Report: rep})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	ms := s.lookup(r.PathValue("name"))
+	if ms == nil {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		return
+	}
+	rep, elapsed, err := ms.flush()
+	if err != nil {
+		s.met.batchesRejected.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, "batch rejected: %v", err)
+		return
+	}
+	s.met.batchDone(rep.Mode, rep.Updates, elapsed.Seconds())
+	writeJSON(w, http.StatusOK, UpdatesResponse{Report: rep})
+}
+
+func (s *Server) handleSessionVerify(w http.ResponseWriter, r *http.Request) {
+	ms := s.lookup(r.PathValue("name"))
+	if ms == nil {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		return
+	}
+	rep, elapsed := ms.verify()
+	s.met.verifySeconds.observe(elapsed.Seconds())
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleCertificates(w http.ResponseWriter, r *http.Request) {
+	ms := s.lookup(r.PathValue("name"))
+	if ms == nil {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, wireCertificates(ms.certificates()))
+}
+
+// handleWatch streams one SessionReport per flushed batch as chunked
+// NDJSON until the client disconnects or the session is deleted. With
+// ?replay=last the current last report is emitted first, so a watcher
+// always has a starting state.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	ms := s.lookup(r.PathValue("name"))
+	if ms == nil {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by transport")
+		return
+	}
+	var (
+		id   uint64
+		ch   <-chan *planarcert.SessionReport
+		last *planarcert.SessionReport
+		ok2  bool
+	)
+	if r.URL.Query().Get("replay") == "last" {
+		id, ch, last, ok2 = ms.watchReplay()
+	} else {
+		id, ch, ok2 = ms.watch()
+	}
+	if !ok2 {
+		writeError(w, http.StatusGone, "session %q is closed", ms.name)
+		return
+	}
+	defer ms.unwatch(id)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush() // ship the headers so clients unblock before the first report
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	if last != nil {
+		if err := enc.Encode(last); err != nil {
+			return
+		}
+		flusher.Flush()
+	}
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case rep, open := <-ch:
+			if !open {
+				return // session deleted
+			}
+			if err := enc.Encode(rep); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// sortStatuses orders a listing by name for a deterministic API.
+func sortStatuses(st []*SessionStatus) {
+	sort.Slice(st, func(i, j int) bool { return st[i].Name < st[j].Name })
+}

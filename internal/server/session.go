@@ -1,0 +1,216 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	planarcert "github.com/planarcert/planarcert"
+)
+
+// session is one named, server-managed certification session: the
+// concurrency-hardening wrapper that turns the single-goroutine
+// planarcert.Session into something many HTTP handlers can share.
+//
+// Two locks with distinct scopes keep the fast paths apart:
+//
+//   - mu serializes every call into the underlying planarcert.Session
+//     (queue, flush, verify, snapshot). Holding it across a flush is
+//     the point: batches from concurrent clients are absorbed one at a
+//     time, in arrival order.
+//   - watchMu guards only the watcher registry, so attaching or
+//     detaching a watch stream never waits behind a long re-prove.
+type session struct {
+	name    string
+	scheme  planarcert.SchemeName // scheme requested at creation
+	created time.Time
+
+	mu      sync.Mutex
+	s       *planarcert.Session
+	pending int // updates queued but not yet flushed
+
+	watchMu   sync.Mutex
+	watchers  map[uint64]chan *planarcert.SessionReport
+	nextWatch uint64
+	closed    bool
+	watchBuf  int
+
+	// broadcastHook feeds delivery/drop counts to the server's metrics;
+	// set once at construction (never mutated afterwards, so it needs no
+	// lock). Nil means no accounting.
+	broadcastHook func(delivered, dropped int)
+}
+
+// newSession wraps s; watchBuf must be positive (Config.withDefaults
+// guarantees it on the server path).
+func newSession(name string, scheme planarcert.SchemeName, s *planarcert.Session, watchBuf int) *session {
+	return &session{
+		name:     name,
+		scheme:   scheme,
+		created:  time.Now(),
+		s:        s,
+		watchers: make(map[uint64]chan *planarcert.SessionReport),
+		watchBuf: watchBuf,
+	}
+}
+
+// queue appends updates to the session's log without flushing. The
+// updates were already converted from wire form, so Queue cannot fail
+// (it only rejects unknown ops).
+func (ms *session) queue(updates []planarcert.Update) (pending int) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for _, u := range updates {
+		if err := ms.s.Queue(u); err == nil {
+			ms.pending++
+		}
+	}
+	return ms.pending
+}
+
+// flush absorbs the whole pending log as one batch and broadcasts the
+// report to every watcher. The broadcast happens while ms.mu is still
+// held (it is non-blocking, so this is cheap) so that watchers receive
+// reports in generation order even when applies race. The returned
+// duration is the time spent inside the session (repair/re-prove +
+// verification), excluding lock wait.
+func (ms *session) flush() (*planarcert.SessionReport, time.Duration, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	start := time.Now()
+	rep, err := ms.s.Flush()
+	elapsed := time.Since(start)
+	// Success absorbed the log; failure discarded it (Session rejects
+	// whole batches) — either way nothing stays pending.
+	ms.pending = 0
+	if err != nil {
+		return nil, elapsed, err
+	}
+	ms.broadcast(rep)
+	return rep, elapsed, nil
+}
+
+// apply queues the batch and flushes it as one serialized operation, so
+// two concurrent apply calls cannot interleave their updates into one
+// merged batch. Like flush, the broadcast runs under ms.mu to preserve
+// generation order for watchers.
+func (ms *session) apply(updates []planarcert.Update) (*planarcert.SessionReport, time.Duration, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	start := time.Now()
+	rep, err := ms.s.Apply(updates)
+	elapsed := time.Since(start)
+	ms.pending = 0
+	if err != nil {
+		return nil, elapsed, err
+	}
+	ms.broadcast(rep)
+	return rep, elapsed, nil
+}
+
+// verify re-runs the full 1-round verification.
+func (ms *session) verify() (*planarcert.Report, time.Duration) {
+	ms.mu.Lock()
+	start := time.Now()
+	rep := ms.s.Verify()
+	elapsed := time.Since(start)
+	ms.mu.Unlock()
+	return rep, elapsed
+}
+
+// certificates snapshots the current assignment (deep copy).
+func (ms *session) certificates() planarcert.Certificates {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.s.Certificates()
+}
+
+// status snapshots the session for the REST surface.
+func (ms *session) status() *SessionStatus {
+	ms.mu.Lock()
+	st := &SessionStatus{
+		Name:         ms.name,
+		Scheme:       ms.scheme,
+		ActiveScheme: ms.s.ActiveScheme(),
+		Nodes:        ms.s.N(),
+		Edges:        ms.s.M(),
+		Generation:   ms.s.Generation(),
+		Certified:    ms.s.Certified(),
+		Pending:      ms.pending,
+		Last:         ms.s.Last(),
+		CreatedAt:    ms.created,
+	}
+	ms.mu.Unlock()
+	ms.watchMu.Lock()
+	st.Watchers = len(ms.watchers)
+	ms.watchMu.Unlock()
+	return st
+}
+
+// watch registers a new watcher and returns its id and channel. The
+// channel is closed when the session is deleted. ok is false if the
+// session is already closed.
+func (ms *session) watch() (id uint64, ch <-chan *planarcert.SessionReport, ok bool) {
+	ms.watchMu.Lock()
+	defer ms.watchMu.Unlock()
+	if ms.closed {
+		return 0, nil, false
+	}
+	c := make(chan *planarcert.SessionReport, ms.watchBuf)
+	ms.nextWatch++
+	ms.watchers[ms.nextWatch] = c
+	return ms.nextWatch, c, true
+}
+
+// watchReplay snapshots the last report and registers a watcher in one
+// ms.mu critical section: broadcasts also run under ms.mu, so no flush
+// can slip between the snapshot and the registration — the replayed
+// report is never duplicated on (or reordered against) the channel.
+func (ms *session) watchReplay() (id uint64, ch <-chan *planarcert.SessionReport, last *planarcert.SessionReport, ok bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	last = ms.s.Last()
+	id, ch, ok = ms.watch()
+	return id, ch, last, ok
+}
+
+// unwatch removes a watcher; safe to call after close.
+func (ms *session) unwatch(id uint64) {
+	ms.watchMu.Lock()
+	defer ms.watchMu.Unlock()
+	delete(ms.watchers, id)
+}
+
+// broadcast fans one report out to every watcher without blocking: a
+// watcher whose buffer is full loses the report (counted by the caller
+// via the returned drop count) rather than stalling the flush path.
+func (ms *session) broadcast(rep *planarcert.SessionReport) (delivered, dropped int) {
+	ms.watchMu.Lock()
+	defer ms.watchMu.Unlock()
+	for _, c := range ms.watchers {
+		select {
+		case c <- rep:
+			delivered++
+		default:
+			dropped++
+		}
+	}
+	if ms.broadcastHook != nil {
+		ms.broadcastHook(delivered, dropped)
+	}
+	return delivered, dropped
+}
+
+// close marks the session deleted and closes every watcher channel so
+// open watch streams terminate.
+func (ms *session) close() {
+	ms.watchMu.Lock()
+	defer ms.watchMu.Unlock()
+	if ms.closed {
+		return
+	}
+	ms.closed = true
+	for id, c := range ms.watchers {
+		close(c)
+		delete(ms.watchers, id)
+	}
+}

@@ -95,6 +95,12 @@ func (n *Network) RemoveEdge(a, b NodeID) bool {
 	return n.g.RemoveEdge(ia, ib)
 }
 
+// HasNode reports whether a node with the given identifier exists.
+func (n *Network) HasNode(id NodeID) bool {
+	_, ok := n.g.IndexOf(id)
+	return ok
+}
+
 // HasEdge reports whether the edge {a, b} exists.
 func (n *Network) HasEdge(a, b NodeID) bool {
 	ia, ok1 := n.g.IndexOf(a)
@@ -249,15 +255,26 @@ func Certify(n *Network, name SchemeName) (Certificates, error) {
 	return cloneCertificates(Certificates(certs)), nil
 }
 
-// Report summarises one verification round.
+// Report summarises one verification round. The JSON field names are
+// part of the planarcertd wire format.
 type Report struct {
-	Accepted    bool
-	Rejecting   []NodeID
-	Reasons     map[NodeID]string
-	MaxCertBits int
-	AvgCertBits float64
-	Messages    int
-	MaxMsgBits  int
+	// Accepted is the global verdict: true iff every node accepted.
+	Accepted bool `json:"accepted"`
+	// Rejecting lists the rejecting nodes in ascending index order.
+	Rejecting []NodeID `json:"rejecting,omitempty"`
+	// Reasons gives each rejecting node's first error.
+	Reasons map[NodeID]string `json:"reasons,omitempty"`
+	// MaxCertBits is the largest certificate, in bits (the paper's
+	// O(log n) headline quantity).
+	MaxCertBits int `json:"max_cert_bits"`
+	// AvgCertBits is the mean certificate size over all nodes.
+	AvgCertBits float64 `json:"avg_cert_bits"`
+	// Messages counts the node-to-node messages of the single
+	// verification round (each node ships its certificate to every
+	// neighbor).
+	Messages int `json:"messages"`
+	// MaxMsgBits is the largest single message, in bits.
+	MaxMsgBits int `json:"max_msg_bits"`
 }
 
 func reportOf(out *dist.Outcome) *Report {
@@ -296,7 +313,38 @@ type EngineConfig struct {
 	// still agrees with exhaustive mode on acceptance but may omit later
 	// rejecting nodes.
 	FailFast bool
+	// Budget, when non-nil, draws this engine's extra parallel workers
+	// from a shared pool, bounding the process-wide verification
+	// parallelism across many concurrent sessions (the planarcertd
+	// server gives every session the same budget). Verification never
+	// blocks on an exhausted budget — it degrades toward sequential
+	// execution instead.
+	Budget *WorkerBudget
 }
+
+// WorkerBudget is a shared, bounded pool of verification-worker slots.
+// Pass the same budget in the EngineConfig of many sessions (or
+// VerifyWith calls) to cap their combined parallel fan-out: each
+// verification keeps one worker unconditionally and takes extra workers
+// only while budget slots are free, so with S slots and E concurrent
+// verifications at most S+E workers are in flight. A WorkerBudget is
+// safe for concurrent use; nil means unlimited.
+type WorkerBudget struct {
+	b *dist.Budget
+}
+
+// NewWorkerBudget returns a budget with the given number of extra-worker
+// slots (clamped up to 1).
+func NewWorkerBudget(slots int) *WorkerBudget {
+	return &WorkerBudget{b: dist.NewBudget(slots)}
+}
+
+// Slots returns the configured slot count.
+func (w *WorkerBudget) Slots() int { return w.b.Slots() }
+
+// InUse returns the number of slots currently held by running
+// verifications.
+func (w *WorkerBudget) InUse() int { return w.b.InUse() }
 
 func (c EngineConfig) options() []dist.Option {
 	var opts []dist.Option
@@ -313,6 +361,9 @@ func (c EngineConfig) options() []dist.Option {
 	}
 	if c.FailFast {
 		opts = append(opts, dist.FailFast())
+	}
+	if c.Budget != nil {
+		opts = append(opts, dist.Limit(c.Budget.b))
 	}
 	return opts
 }

@@ -46,37 +46,39 @@ func (u Update) internal() (dynamic.Update, error) {
 	}
 }
 
-// SessionReport describes how one update batch was absorbed.
+// SessionReport describes how one update batch was absorbed. The JSON
+// field names are part of the planarcertd wire format (the watch stream
+// emits one SessionReport per flushed batch).
 type SessionReport struct {
 	// Generation counts absorbed batches (0 is the initial certification).
-	Generation uint64
+	Generation uint64 `json:"generation"`
 	// Mode is how the batch was absorbed: "noop", "repair" (localized
 	// repair + frontier verification), "cache" (certificate cache hit),
 	// "reprove" (full re-prove), "flip" (re-prove under the counterpart
 	// scheme after planarity flipped), or "uncertified".
-	Mode string
+	Mode string `json:"mode"`
 	// ActiveScheme is the scheme certifying the network after the batch.
-	ActiveScheme SchemeName
+	ActiveScheme SchemeName `json:"active_scheme"`
 	// Updates is the number of log entries absorbed.
-	Updates int
+	Updates int `json:"updates"`
 	// Dirty counts the nodes whose certificates changed.
-	Dirty int
+	Dirty int `json:"dirty"`
 	// Verified counts the nodes whose verifier re-ran.
-	Verified int
+	Verified int `json:"verified"`
 	// FullVerify reports whether the whole network was re-verified.
-	FullVerify bool
+	FullVerify bool `json:"full_verify"`
 	// Accepted is the verification verdict.
-	Accepted bool
+	Accepted bool `json:"accepted"`
 	// Verification carries the verification details (nil when nothing
 	// ran, e.g. a noop batch).
-	Verification *Report
+	Verification *Report `json:"verification,omitempty"`
 	// CacheGeneration is the generation stamp of the cache entry that
 	// served a "cache" batch.
-	CacheGeneration uint64
+	CacheGeneration uint64 `json:"cache_generation,omitempty"`
 	// RepairFallback explains why a localized repair was abandoned.
-	RepairFallback string
+	RepairFallback string `json:"repair_fallback,omitempty"`
 	// ProveErr is the prover failure of an "uncertified" batch.
-	ProveErr string
+	ProveErr string `json:"prove_err,omitempty"`
 }
 
 func sessionReportOf(r *dynamic.Report) *SessionReport {
@@ -141,6 +143,12 @@ func WithoutFlip() SessionOption {
 // only the dirty region's 1-hop closure through the sharded engine, and
 // falls back to a full re-prove (with scheme flipping and a
 // generation-stamped certificate cache) when it cannot.
+//
+// A Session is not safe for concurrent use: callers driving one session
+// from several goroutines must serialize every method behind one mutex
+// (internal/server does exactly that for planarcertd). Distinct
+// sessions are independent and may run concurrently; give them a shared
+// EngineConfig.Budget to bound their combined verification parallelism.
 type Session struct {
 	d *dynamic.Session
 }
