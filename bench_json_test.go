@@ -34,6 +34,11 @@ func TestBenchSnapshotsWellFormed(t *testing.T) {
 			"ServerLoad/sessions=64/batch",
 			"ServerLoad/sessions=64/update",
 		},
+		"BENCH_recovery.json": {
+			"Recovery/n=50000/replay",
+			"Recovery/n=50000/crash_replay",
+			"Recovery/n=50000/reprove",
+		},
 	} {
 		raw, err := os.ReadFile(file)
 		if err != nil {
@@ -100,5 +105,32 @@ func TestBenchSnapshotsWellFormed(t *testing.T) {
 	}
 	if srv.Sessions < 50 {
 		t.Fatalf("BENCH_server.json: load run used %d concurrent sessions, want >= 50", srv.Sessions)
+	}
+
+	// The acceptance bar of the durability layer: a clean-shutdown boot
+	// restores certificates on the verification sweep alone, so it must
+	// beat re-proving the same network from scratch.
+	raw, err = os.ReadFile("BENCH_recovery.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec snapshot
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	var replay, reprove int64
+	for _, b := range rec.Benchmarks {
+		switch b.Name {
+		case "Recovery/n=50000/replay":
+			replay = b.NsPerOp
+		case "Recovery/n=50000/reprove":
+			reprove = b.NsPerOp
+		}
+	}
+	if replay == 0 || reprove == 0 {
+		t.Fatal("BENCH_recovery.json: missing the n=50000 replay/reprove pair")
+	}
+	if replay >= reprove {
+		t.Fatalf("committed snapshot violates the recovery bar: clean replay %d ns not faster than cold re-prove %d ns", replay, reprove)
 	}
 }

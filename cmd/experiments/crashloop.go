@@ -1,0 +1,483 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/planarcert/planarcert/internal/server"
+	"github.com/planarcert/planarcert/internal/wal"
+)
+
+// crashLoop is the durability fault-injection harness: it re-execs this
+// binary as a planarcertd-equivalent child (same internal/server wiring,
+// -data-dir persistence), streams update batches at it while a timer
+// SIGKILLs the child mid-batch, then restarts it and asserts the
+// recovered topology equals the client-side mirror of every acked batch
+// — optionally plus the single batch that was in flight at the kill
+// (logged but unacked), never less. Batches are sent serially so at
+// most one batch is ever unaccounted for.
+func crashLoop(args []string) error {
+	fs := flag.NewFlagSet("crashloop", flag.ExitOnError)
+	iterations := fs.Int("iterations", 20, "kill/restart cycles")
+	batches := fs.Int("batches", 512, "cap on update batches per cycle (batches stream until the kill lands)")
+	ops := fs.Int("ops", 4, "updates per batch")
+	nodes := fs.Int("n", 48, "initial nodes in the session's path network")
+	seed := fs.Int64("seed", 2020, "random seed")
+	fsyncFlag := fs.String("fsync", "never", "WAL fsync policy for the child (crash survival needs no fsync; power loss does)")
+	snapEvery := fs.Int("snapshot-every", 4, "child snapshot threshold, small to exercise snapshot+tail recovery")
+	dataDir := fs.String("data-dir", "", "data directory (empty = fresh temp dir)")
+	serve := fs.String("serve", "", "internal: run as the killable daemon child on this address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := wal.ParseSyncPolicy(*fsyncFlag)
+	if err != nil {
+		return err
+	}
+	if *serve != "" {
+		return crashChild(*serve, *dataDir, policy, *snapEvery)
+	}
+
+	dir := *dataDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "planarcert-crashloop-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	// Reserve an address once and reuse it across restarts so the
+	// client base URL is stable (Go listeners set SO_REUSEADDR).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	h := &crashHarness{
+		base:   "http://" + addr,
+		client: &http.Client{Timeout: 10 * time.Second},
+		rng:    rand.New(rand.NewSource(*seed)),
+		nodes:  map[int64]bool{},
+		edges:  map[[2]int64]bool{},
+	}
+	startChild := func() (*exec.Cmd, error) {
+		cmd := exec.Command(os.Args[0], "crashloop",
+			"-serve", addr, "-data-dir", dir,
+			"-fsync", *fsyncFlag, "-snapshot-every", fmt.Sprint(*snapEvery))
+		cmd.Stdout = io.Discard
+		cmd.Stderr = io.Discard
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		if err := h.awaitReady(30 * time.Second); err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, err
+		}
+		return cmd, nil
+	}
+
+	fmt.Printf("== crashloop: %d SIGKILL cycles x %d batches x %d ops (n=%d, fsync=%s, dir=%s) ==\n",
+		*iterations, *batches, *ops, *nodes, *fsyncFlag, dir)
+
+	acked, inflightLanded := 0, 0
+	for iter := 0; iter < *iterations; iter++ {
+		cmd, err := startChild()
+		if err != nil {
+			return fmt.Errorf("iteration %d: start child: %w", iter, err)
+		}
+		if iter == 0 {
+			if err := h.createSession(*nodes); err != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+				return fmt.Errorf("create session: %w", err)
+			}
+		} else {
+			verdict, err := h.checkRecovered()
+			if err != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+				return fmt.Errorf("iteration %d: %w", iter, err)
+			}
+			if verdict == "acked+inflight" {
+				inflightLanded++
+			}
+			fmt.Printf("iter %2d: recovered = %-14s (%d nodes, %d edges, %d acked batches so far)\n",
+				iter, verdict, len(h.nodes), len(h.edges), acked)
+		}
+
+		// Arm the killer, then stream batches continuously until one
+		// fails (child died mid-batch) or the cap is hit.
+		delay := time.Duration(1+h.rng.Intn(60)) * time.Millisecond
+		timer := time.AfterFunc(delay, func() { cmd.Process.Kill() })
+		for b := 0; b < *batches; b++ {
+			batch := h.makeBatch(*ops)
+			if len(batch) == 0 {
+				continue
+			}
+			ok, err := h.sendBatch(batch)
+			if err != nil {
+				timer.Stop()
+				cmd.Process.Kill()
+				cmd.Wait()
+				return fmt.Errorf("iteration %d batch %d: %w", iter, b, err)
+			}
+			if !ok {
+				break // killed mid-batch; h.inflight records the orphan
+			}
+			acked++
+		}
+		timer.Stop()
+		cmd.Process.Kill() // no-op if the timer already fired
+		cmd.Wait()
+		h.client.CloseIdleConnections()
+	}
+
+	// Final restart: every acked batch must have survived the last kill
+	// too, and the recovered session must still accept new work.
+	cmd, err := startChild()
+	if err != nil {
+		return fmt.Errorf("final restart: %w", err)
+	}
+	defer func() { cmd.Process.Kill(); cmd.Wait() }()
+	verdict, err := h.checkRecovered()
+	if err != nil {
+		return fmt.Errorf("final restart: %w", err)
+	}
+	if verdict == "acked+inflight" {
+		inflightLanded++
+	}
+	if batch := h.makeBatch(*ops); len(batch) > 0 {
+		if ok, err := h.sendBatch(batch); err != nil || !ok {
+			return fmt.Errorf("post-recovery batch rejected: ok=%v err=%v", ok, err)
+		}
+		acked++
+	}
+	fmt.Printf("crashloop: %d kills, %d acked batches, 0 lost (%d in-flight batches landed despite the kill)\n",
+		*iterations, acked, inflightLanded)
+	return nil
+}
+
+// crashChild runs the killable daemon: the same server wiring as
+// cmd/planarcertd, minus signal handling — SIGKILL is the point.
+func crashChild(addr, dir string, policy wal.SyncPolicy, snapEvery int) error {
+	srv := server.New(server.Config{
+		DataDir:       dir,
+		Fsync:         policy,
+		SnapshotEvery: snapEvery,
+	})
+	if err := srv.Recover(); err != nil {
+		return err
+	}
+	return http.ListenAndServe(addr, srv.Handler())
+}
+
+// crashHarness is the parent-side client state: the confirmed mirror of
+// every acked update, plus the at-most-one batch whose ack never
+// arrived because the child died first.
+type crashHarness struct {
+	base     string
+	client   *http.Client
+	rng      *rand.Rand
+	nodes    map[int64]bool
+	edges    map[[2]int64]bool
+	backbone int64 // initial path nodes [0, backbone); chords live here
+	nextNode int64
+	inflight []crashOp
+}
+
+type crashOp struct {
+	op   string
+	a, b int64
+}
+
+func edgeKey(a, b int64) [2]int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int64{a, b}
+}
+
+func (h *crashHarness) awaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := h.client.Get(h.base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("child not ready within %s", timeout)
+}
+
+func (h *crashHarness) createSession(n int) error {
+	var spec bytes.Buffer
+	for i := 0; i < n-1; i++ {
+		fmt.Fprintf(&spec, "%d %d\n", i, i+1)
+	}
+	body, err := json.Marshal(map[string]interface{}{
+		"name":   "crash",
+		"scheme": "planarity",
+		"graph":  map[string]string{"edge_list": spec.String()},
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Post(h.base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("create: status %d: %s", resp.StatusCode, raw)
+	}
+	for i := 0; i < n; i++ {
+		h.nodes[int64(i)] = true
+		if i > 0 {
+			h.edges[edgeKey(int64(i-1), int64(i))] = true
+		}
+	}
+	h.backbone = int64(n)
+	h.nextNode = int64(n)
+	return nil
+}
+
+// isChord reports whether an edge is a removable backbone chord (never
+// a path edge or a pendant node's only attachment).
+func (h *crashHarness) isChord(e [2]int64) bool {
+	return e[0] < h.backbone && e[1] < h.backbone && e[1] > e[0]+1
+}
+
+// makeBatch builds one batch against the confirmed mirror: chord
+// adds/removes plus the occasional pendant-node attach, covering every
+// WAL op kind. Chords live on the path backbone and are kept pairwise
+// non-crossing, so every intermediate state is outerplanar plus pendant
+// nodes — always connected, always planar, always certifiable.
+func (h *crashHarness) makeBatch(ops int) []crashOp {
+	// Working chord set: mirror chords, adjusted by staged ops.
+	cur := map[[2]int64]bool{}
+	for e := range h.edges {
+		if h.isChord(e) {
+			cur[e] = true
+		}
+	}
+	crosses := func(a, b int64) bool {
+		for e := range cur {
+			c, d := e[0], e[1]
+			if (a < c && c < b && b < d) || (c < a && a < d && d < b) {
+				return true
+			}
+		}
+		return false
+	}
+	var batch []crashOp
+	stagedNodes := int64(0)
+	for tries := 0; len(batch) < ops && tries < 20*ops; tries++ {
+		switch h.rng.Intn(5) {
+		case 0: // attach a brand-new pendant node to the backbone
+			id := h.nextNode + stagedNodes
+			stagedNodes++
+			anchor := int64(h.rng.Intn(int(h.backbone)))
+			batch = append(batch,
+				crashOp{op: "add_node", a: id},
+				crashOp{op: "add_edge", a: anchor, b: id})
+		case 1: // remove an existing chord
+			if len(cur) == 0 {
+				continue
+			}
+			var keys [][2]int64
+			for e := range cur {
+				keys = append(keys, e)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				return keys[i][0] < keys[j][0] ||
+					(keys[i][0] == keys[j][0] && keys[i][1] < keys[j][1])
+			})
+			e := keys[h.rng.Intn(len(keys))]
+			delete(cur, e)
+			batch = append(batch, crashOp{op: "remove_edge", a: e[0], b: e[1]})
+		default: // add a non-crossing chord across the backbone
+			a := int64(h.rng.Intn(int(h.backbone) - 2))
+			b := a + 2 + int64(h.rng.Intn(int(h.backbone)-int(a)-2))
+			if cur[[2]int64{a, b}] || h.edges[edgeKey(a, b)] || crosses(a, b) {
+				continue
+			}
+			cur[[2]int64{a, b}] = true
+			batch = append(batch, crashOp{op: "add_edge", a: a, b: b})
+		}
+	}
+	return batch
+}
+
+// applyToMirror folds an acked (or recovered) batch into the confirmed
+// mirror.
+func (h *crashHarness) applyToMirror(batch []crashOp) {
+	for _, op := range batch {
+		switch op.op {
+		case "add_node":
+			h.nodes[op.a] = true
+			if op.a >= h.nextNode {
+				h.nextNode = op.a + 1
+			}
+		case "add_edge":
+			h.edges[edgeKey(op.a, op.b)] = true
+		case "remove_edge":
+			delete(h.edges, edgeKey(op.a, op.b))
+		}
+	}
+}
+
+// sendBatch posts one apply-mode batch. ok=false means the child died
+// before the ack; the batch stays in h.inflight for the next restart to
+// account for.
+func (h *crashHarness) sendBatch(batch []crashOp) (ok bool, err error) {
+	var lines strings.Builder
+	for _, op := range batch {
+		if op.op == "add_node" {
+			fmt.Fprintf(&lines, "{\"op\":%q,\"a\":%d}\n", op.op, op.a)
+		} else {
+			fmt.Fprintf(&lines, "{\"op\":%q,\"a\":%d,\"b\":%d}\n", op.op, op.a, op.b)
+		}
+	}
+	h.inflight = batch
+	resp, err := h.client.Post(h.base+"/v1/sessions/crash/updates", "application/x-ndjson", strings.NewReader(lines.String()))
+	if err != nil {
+		return false, nil // killed mid-batch: no ack, batch stays in flight
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("batch not acked: status %d: %s", resp.StatusCode, raw)
+	}
+	h.applyToMirror(batch)
+	h.inflight = nil
+	return true, nil
+}
+
+// checkRecovered compares the restored session against the mirror:
+// the recovered topology must match either every acked batch, or every
+// acked batch plus the single in-flight one (logged before the ack
+// could be sent). Anything else means an acked batch was lost. It also
+// asserts the restored certificates passed a verification sweep.
+func (h *crashHarness) checkRecovered() (verdict string, err error) {
+	resp, err := h.client.Get(h.base + "/v1/sessions/crash/graph")
+	if err != nil {
+		return "", err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("graph: status %d: %s", resp.StatusCode, raw)
+	}
+	var g struct {
+		Nodes []int64    `json:"nodes"`
+		Edges [][2]int64 `json:"edges"`
+	}
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return "", err
+	}
+	got := struct {
+		nodes map[int64]bool
+		edges map[[2]int64]bool
+	}{map[int64]bool{}, map[[2]int64]bool{}}
+	for _, id := range g.Nodes {
+		got.nodes[id] = true
+	}
+	for _, e := range g.Edges {
+		got.edges[edgeKey(e[0], e[1])] = true
+	}
+	same := func(an map[int64]bool, ae map[[2]int64]bool) bool {
+		if len(an) != len(got.nodes) || len(ae) != len(got.edges) {
+			return false
+		}
+		for id := range an {
+			if !got.nodes[id] {
+				return false
+			}
+		}
+		for e := range ae {
+			if !got.edges[e] {
+				return false
+			}
+		}
+		return true
+	}
+
+	switch {
+	case same(h.nodes, h.edges):
+		verdict = "acked"
+	case len(h.inflight) > 0:
+		// Try mirror + in-flight batch: the kill landed after the WAL
+		// append but before the HTTP ack.
+		saveN, saveE := h.nodes, h.edges
+		h.nodes, h.edges = cloneNodes(saveN), cloneEdges(saveE)
+		h.applyToMirror(h.inflight)
+		if same(h.nodes, h.edges) {
+			verdict = "acked+inflight" // keep the folded mirror: it is durable now
+		} else {
+			h.nodes, h.edges = saveN, saveE
+			return "", fmt.Errorf("recovered graph (%d nodes, %d edges) matches neither the %d acked batches nor acked+inflight",
+				len(got.nodes), len(got.edges), len(h.edges))
+		}
+	default:
+		return "", fmt.Errorf("acked batch lost: recovered graph has %d nodes / %d edges, mirror has %d / %d",
+			len(got.nodes), len(got.edges), len(h.nodes), len(h.edges))
+	}
+	h.inflight = nil
+
+	// The restored certificates must have been re-validated: the status
+	// endpoint reports Certified only when the sweep accepted.
+	resp, err = h.client.Get(h.base + "/v1/sessions/crash")
+	if err != nil {
+		return "", err
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status: %d: %s", resp.StatusCode, raw)
+	}
+	var st struct {
+		Certified bool `json:"certified"`
+		Durable   bool `json:"durable"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return "", err
+	}
+	if !st.Certified || !st.Durable {
+		return "", fmt.Errorf("restored session not certified/durable: %s", raw)
+	}
+	return verdict, nil
+}
+
+func cloneNodes(m map[int64]bool) map[int64]bool {
+	out := make(map[int64]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneEdges(m map[[2]int64]bool) map[[2]int64]bool {
+	out := make(map[[2]int64]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

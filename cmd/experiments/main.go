@@ -8,6 +8,8 @@
 //	experiments                 # run everything
 //	experiments -run E3         # run one experiment
 //	experiments serverload      # planarcertd load generator (BENCH_server.json)
+//	experiments crashloop       # SIGKILL fault injection against the durable daemon
+//	experiments recoverybench   # boot replay vs cold re-prove (BENCH_recovery.json)
 package main
 
 import (
@@ -31,12 +33,19 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serverload" {
-		if err := serverLoad(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "serverload:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		sub := map[string]func([]string) error{
+			"serverload":    serverLoad,
+			"crashloop":     crashLoop,
+			"recoverybench": recoveryBench,
 		}
-		return
+		if fn, ok := sub[os.Args[1]]; ok {
+			if err := fn(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, os.Args[1]+":", err)
+				os.Exit(1)
+			}
+			return
+		}
 	}
 	run := flag.String("run", "", "experiment to run (E1..E10); empty = all")
 	seed := flag.Int64("seed", 2020, "random seed")

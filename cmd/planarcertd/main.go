@@ -6,6 +6,7 @@
 // Usage:
 //
 //	planarcertd -addr :7420 -budget 8 -max-sessions 1024
+//	planarcertd -addr :7420 -data-dir /var/lib/planarcert -fsync always
 //
 // Quick round trip:
 //
@@ -21,6 +22,16 @@
 // All sessions share one bounded verification worker budget (-budget),
 // so heavy traffic degrades gracefully toward per-session sequential
 // verification instead of oversubscribing the machine.
+//
+// With -data-dir set the daemon is durable: every applied batch is
+// written to a per-session write-ahead log before it is acked, sessions
+// snapshot their certificates every -snapshot-every batches (keyed by
+// the topology fingerprint), and on boot each session is restored from
+// its newest valid snapshot plus the WAL tail and re-validated by the
+// proof-labeling scheme's own verification sweep. /readyz answers 503
+// until that replay completes; on SIGTERM/SIGINT the daemon stops
+// accepting batches, drains in-flight applies, flushes the WAL, and
+// writes final snapshots before exiting.
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 
 	planarcert "github.com/planarcert/planarcert"
 	"github.com/planarcert/planarcert/internal/server"
+	"github.com/planarcert/planarcert/internal/wal"
 )
 
 func main() {
@@ -46,12 +58,23 @@ func main() {
 	workers := flag.Int("workers", 0, "per-verification worker bound (0 = GOMAXPROCS)")
 	shard := flag.Int("shard", 0, "nodes a worker claims per handoff (0 = engine default)")
 	seq := flag.Bool("seq", false, "force single-goroutine verification per session")
+	dataDir := flag.String("data-dir", "", "data directory for WALs and snapshots (empty = no persistence)")
+	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy: always (acked batches survive power loss) or never (survive crashes only)")
+	snapshotEvery := flag.Int("snapshot-every", 32, "logged batches between automatic per-session snapshots")
 	flag.Parse()
 
+	policy, err := wal.ParseSyncPolicy(*fsyncFlag)
+	if err != nil {
+		log.Fatalf("planarcertd: %v", err)
+	}
+
 	srv := server.New(server.Config{
-		MaxSessions: *maxSessions,
-		BudgetSlots: *budget,
-		WatchBuffer: *watchBuffer,
+		MaxSessions:   *maxSessions,
+		BudgetSlots:   *budget,
+		WatchBuffer:   *watchBuffer,
+		DataDir:       *dataDir,
+		Fsync:         policy,
+		SnapshotEvery: *snapshotEvery,
 		Engine: planarcert.EngineConfig{
 			Sequential: *seq,
 			Workers:    *workers,
@@ -69,10 +92,29 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Listen before recovering so /healthz and /readyz are reachable
+	// during a long replay (session endpoints answer 503 until ready).
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("planarcertd listening on %s (budget=%d slots, max %d sessions)",
 		*addr, *budget, *maxSessions)
+
+	recovered := make(chan error, 1)
+	go func() { recovered <- srv.Recover() }()
+	select {
+	case err := <-recovered:
+		if err != nil {
+			log.Fatalf("planarcertd: recover: %v", err)
+		}
+		if *dataDir != "" {
+			log.Printf("planarcertd recovered %d sessions from %s", srv.SessionCount(), *dataDir)
+		}
+	case <-ctx.Done():
+		log.Printf("planarcertd interrupted during recovery")
+		os.Exit(1)
+	case err := <-errCh:
+		log.Fatalf("planarcertd: %v", err)
+	}
 
 	select {
 	case <-ctx.Done():
@@ -81,9 +123,14 @@ func main() {
 		log.Fatalf("planarcertd: %v", err)
 	}
 
+	// Ordered drain: Close first rejects new batches and session
+	// creations, lets in-flight applies finish, absorbs queued updates
+	// as final logged batches, writes final snapshots, and closes every
+	// WAL; it also terminates watch streams so Shutdown can drain the
+	// HTTP connections afterwards.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	srv.Close() // terminates watch streams so Shutdown can drain
+	srv.Close()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("planarcertd: shutdown: %v", err)
 	}

@@ -21,6 +21,7 @@ var docCheckedDirs = []string{
 	"internal/dynamic",
 	"internal/graph",
 	"internal/server",
+	"internal/wal",
 }
 
 // TestDocComments is the repo's missing-godoc lint: every exported

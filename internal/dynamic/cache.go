@@ -69,6 +69,15 @@ func fingerprintOf(g *graph.Graph) fingerprint {
 	return f
 }
 
+// FingerprintOf returns the 128-bit order-independent topology
+// fingerprint of g — the same value a live session maintains
+// incrementally (see Session.Fingerprint). The persistence layer uses
+// it to cross-check a restored network against its snapshot key.
+func FingerprintOf(g *graph.Graph) (hi, lo uint64) {
+	f := fingerprintOf(g)
+	return f.hi, f.lo
+}
+
 // cacheKey identifies a certified topology: the fingerprint plus the
 // exact node and edge counts (a cheap second factor against collisions).
 type cacheKey struct {

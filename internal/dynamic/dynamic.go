@@ -52,6 +52,7 @@ const (
 	ModeReprove     Mode = "reprove"     // full re-prove + full verification
 	ModeFlip        Mode = "flip"        // re-prove under the counterpart scheme
 	ModeUncertified Mode = "uncertified" // no scheme certifies the current graph
+	ModeRestore     Mode = "restore"     // snapshot assignment adopted after a full sweep
 )
 
 // DefaultRepairThreshold bounds the repair scope (ranks scanned during
@@ -145,6 +146,65 @@ type Session struct {
 // it — so sessions can start from an empty network and be grown through
 // Apply.
 func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
+	s, err := newSessionShell(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Generation: 0, Scheme: s.active.Name()}
+	s.reprove(rep)
+	s.last = rep
+	return s, nil
+}
+
+// Restore rebuilds a session from persisted state: it takes ownership
+// of g and certs, installs the assignment under the active scheme
+// (which must be cfg.Scheme or cfg.Counterpart; nil means cfg.Scheme),
+// and self-validates by running the scheme's full 1-round verification
+// sweep — the proof-labeling scheme's own soundness check, so a stale
+// or tampered snapshot that slipped past the storage CRCs is caught
+// semantically. If the sweep rejects (or certs is empty), Restore falls
+// back to re-proving from the restored graph. The session resumes at
+// generation gen; the structured repair state is rebuilt lazily at the
+// next re-prove, exactly as after a cache adoption.
+func Restore(g *graph.Graph, cfg Config, active pls.Scheme, certs map[graph.ID]bits.Certificate, gen uint64) (*Session, error) {
+	s, err := newSessionShell(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if active != nil {
+		if active.Name() != cfg.Scheme.Name() && (cfg.Counterpart == nil || active.Name() != cfg.Counterpart.Name()) {
+			return nil, fmt.Errorf("dynamic: restored active scheme %q is neither the configured scheme nor its counterpart", active.Name())
+		}
+		s.active = active
+	}
+	s.gen = gen
+	rep := &Report{Generation: gen, Scheme: s.active.Name()}
+	if len(certs) > 0 {
+		s.certs = certs
+		s.certsOwn = true
+		s.state = nil
+		out := dist.NewEngine(s.g, s.engineOpts...).RunPLS(certs, s.active.Verify)
+		if out.AllAccept() {
+			s.certified = true
+			rep.Mode = ModeRestore
+			rep.Accepted = true
+			rep.Outcome = out
+			rep.FullVerify = true
+			rep.Verified = out.N
+			s.cache.store(s.cacheKey(), &cacheEntry{scheme: s.active, certs: certs, gen: s.gen})
+			s.certsOwn = false // the cache entry shares the map
+			s.last = rep
+			return s, nil
+		}
+	}
+	s.reprove(rep)
+	s.last = rep
+	return s, nil
+}
+
+// newSessionShell builds a Session with cfg's thresholds applied but no
+// certificate state (shared by NewSession and Restore).
+func newSessionShell(g *graph.Graph, cfg Config) (*Session, error) {
 	if cfg.Scheme == nil {
 		return nil, errors.New("dynamic: nil scheme")
 	}
@@ -162,7 +222,7 @@ func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
 	case cacheSize < 0:
 		cacheSize = 0
 	}
-	s := &Session{
+	return &Session{
 		g:           g,
 		scheme:      cfg.Scheme,
 		counterpart: cfg.Counterpart,
@@ -171,16 +231,17 @@ func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
 		engineOpts:  cfg.EngineOpts,
 		cache:       newCertCache(cacheSize),
 		fp:          fingerprintOf(g),
-	}
-	rep := &Report{Generation: 0, Scheme: s.active.Name()}
-	s.reprove(rep)
-	s.last = rep
-	return s, nil
+	}, nil
 }
 
 // Graph exposes the live graph. Callers must not mutate it; all
 // mutations go through the update log.
 func (s *Session) Graph() *graph.Graph { return s.g }
+
+// Fingerprint returns the 128-bit order-independent topology
+// fingerprint of the live graph (the snapshot and certificate-cache
+// key), maintained in O(1) per update.
+func (s *Session) Fingerprint() (hi, lo uint64) { return s.fp.hi, s.fp.lo }
 
 // Generation returns the number of absorbed batches.
 func (s *Session) Generation() uint64 { return s.gen }
@@ -190,6 +251,9 @@ func (s *Session) Certified() bool { return s.certified }
 
 // ActiveScheme returns the scheme currently certifying the graph.
 func (s *Session) ActiveScheme() pls.Scheme { return s.active }
+
+// Scheme returns the scheme the session was configured with.
+func (s *Session) Scheme() pls.Scheme { return s.scheme }
 
 // Last returns the report of the most recent batch (or the initial
 // certification).

@@ -95,6 +95,10 @@ type SessionStatus struct {
 	Last *planarcert.SessionReport `json:"last,omitempty"`
 	// CreatedAt is the session creation time.
 	CreatedAt time.Time `json:"created_at"`
+	// Durable reports whether the session is backed by a WAL + snapshots.
+	Durable bool `json:"durable,omitempty"`
+	// WalSeq is the highest durable WAL sequence number (durable only).
+	WalSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 // UpdateLine is one NDJSON line of a POST .../updates body.
@@ -183,6 +187,34 @@ type Health struct {
 	// Batches counts flushed batches by absorption mode; the
 	// repair-vs-reprove ratio falls out of it.
 	Batches map[string]uint64 `json:"batches,omitempty"`
+}
+
+// Ready is the body of GET /readyz: the readiness probe, which (unlike
+// /healthz liveness) answers 503 while boot recovery replays session
+// state or a graceful shutdown drains it.
+type Ready struct {
+	// Ready is true once recovery completed and the server is not
+	// draining.
+	Ready bool `json:"ready"`
+	// Status is "ok", "recovering" or "draining".
+	Status string `json:"status"`
+	// Sessions counts live sessions.
+	Sessions int `json:"sessions"`
+	// SessionsRestored counts sessions restored from durable state.
+	SessionsRestored uint64 `json:"sessions_restored"`
+	// RecoverySeconds is the boot replay duration (0 until it completes).
+	RecoverySeconds float64 `json:"recovery_seconds"`
+}
+
+// GraphExport is the body of GET /v1/sessions/{name}/graph: the live
+// topology, exact enough for a client to diff against its own mirror.
+type GraphExport struct {
+	// Nodes lists every node identifier.
+	Nodes []planarcert.NodeID `json:"nodes"`
+	// Edges lists every undirected edge, smaller identifier first.
+	Edges [][2]planarcert.NodeID `json:"edges"`
+	// Fingerprint is the 128-bit topology fingerprint as 32 hex digits.
+	Fingerprint string `json:"fingerprint"`
 }
 
 // APIError is the JSON error envelope of every non-2xx response.

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -68,6 +69,15 @@ type metrics struct {
 	watchDropped    atomic.Uint64
 	httpRequests    atomic.Uint64
 
+	// Durability layer (zero on a non-durable server).
+	walAppends       atomic.Uint64
+	snapshotsWritten atomic.Uint64
+	sessionsRestored atomic.Uint64
+	recoveryFailed   atomic.Uint64
+	walReplayed      atomic.Uint64
+	walCorrupt       atomic.Uint64
+	recoverySecsBits atomic.Uint64 // math.Float64bits of the boot replay duration
+
 	modeMu sync.Mutex
 	modes  map[string]uint64 // flushed batches by absorption mode
 
@@ -81,6 +91,12 @@ func newMetrics() *metrics {
 		batchSeconds:  newHistogram(verifyBuckets),
 		verifySeconds: newHistogram(verifyBuckets),
 	}
+}
+
+// recoverySeconds returns the recorded boot replay duration (0 until
+// recovery completes).
+func (m *metrics) recoverySeconds() float64 {
+	return math.Float64frombits(m.recoverySecsBits.Load())
 }
 
 // batchDone records one successfully flushed batch.
@@ -123,6 +139,13 @@ func (m *metrics) write(w io.Writer, activeSessions, watchers, budgetSlots, budg
 	counter("planarcertd_watch_events_total", "Session reports delivered to watchers.", m.watchEvents.Load())
 	counter("planarcertd_watch_dropped_total", "Session reports dropped on slow watchers.", m.watchDropped.Load())
 	counter("planarcertd_http_requests_total", "HTTP requests served.", m.httpRequests.Load())
+	gauge("planarcertd_recovery_seconds", "Boot replay duration (0 until recovery completes).", math.Float64frombits(m.recoverySecsBits.Load()))
+	counter("planarcertd_wal_records_replayed", "WAL records replayed during boot recovery.", m.walReplayed.Load())
+	counter("planarcertd_wal_corrupt_records", "Corrupt WAL records and snapshots skipped during recovery.", m.walCorrupt.Load())
+	counter("planarcertd_sessions_restored_total", "Sessions restored from durable state at boot.", m.sessionsRestored.Load())
+	counter("planarcertd_sessions_recovery_failed_total", "Session directories that could not be restored at boot.", m.recoveryFailed.Load())
+	counter("planarcertd_wal_appends_total", "Update batches appended to per-session WALs.", m.walAppends.Load())
+	counter("planarcertd_snapshots_written_total", "Certificate snapshots written.", m.snapshotsWritten.Load())
 
 	fmt.Fprintf(w, "# HELP planarcertd_batches_total Flushed batches by absorption mode (repair vs reprove vs cache ...).\n")
 	fmt.Fprintf(w, "# TYPE planarcertd_batches_total counter\n")

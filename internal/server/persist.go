@@ -1,0 +1,256 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/wal"
+)
+
+// Recover opens the configured data directory and restores every
+// persisted session: the newest valid snapshot is decoded, its network
+// is cross-checked against the stored topology fingerprint, and the
+// session is restored at the snapshot point via
+// planarcert.RestoreSession — whose full verification sweep is the
+// self-validation step: certificates corrupted in any way the CRCs
+// missed are caught semantically and the session re-proves. The WAL
+// tail past the snapshot is then replayed through the live session, so
+// incremental repair absorbs it at update cost instead of forcing a
+// full re-prove of the final topology.
+//
+// Recover must be called once, before serving traffic, when
+// Config.DataDir is set; the /v1/sessions endpoints answer 503 and
+// /readyz reports not-ready until it returns. A session directory that
+// cannot be restored is counted and skipped — it never blocks boot —
+// and its files are left in place for forensics. On a server without a
+// DataDir, Recover only marks the server ready.
+func (s *Server) Recover() error {
+	if s.cfg.DataDir == "" {
+		s.ready.Store(true)
+		return nil
+	}
+	start := time.Now()
+	root, err := wal.OpenRoot(s.cfg.DataDir, s.cfg.Fsync)
+	if err != nil {
+		return err
+	}
+	s.root = root
+	dirs, err := root.SessionDirs()
+	if err != nil {
+		return err
+	}
+	for _, dir := range dirs {
+		if err := s.recoverSession(dir); err != nil {
+			s.met.recoveryFailed.Add(1)
+		}
+	}
+	s.met.recoverySecsBits.Store(math.Float64bits(time.Since(start).Seconds()))
+	s.ready.Store(true)
+	return nil
+}
+
+// recoverSession restores one session directory and registers the
+// result. Errors mean the directory held nothing restorable (or the
+// registry rejected the session); the caller counts and skips it.
+func (s *Server) recoverSession(dir string) error {
+	st, rec, err := wal.OpenStore(dir, s.cfg.Fsync)
+	if err != nil {
+		return err
+	}
+	s.met.walReplayed.Add(uint64(rec.Stats.Records))
+	s.met.walCorrupt.Add(uint64(rec.Stats.CorruptRecords + rec.SnapshotsDiscarded))
+	snap := rec.Snapshot
+	if snap == nil {
+		// The process died before the session's first snapshot landed;
+		// with nothing to anchor the WAL to, the directory is unrestorable.
+		st.Close()
+		return fmt.Errorf("server: no valid snapshot in %s", dir)
+	}
+	net, err := networkOf(snap)
+	if err != nil {
+		st.Close()
+		return fmt.Errorf("server: snapshot graph in %s: %w", dir, err)
+	}
+	if hi, lo := net.Fingerprint(); hi != snap.FingerprintHi || lo != snap.FingerprintLo {
+		// The body CRC passed but the graph does not hash to its key:
+		// treat it like any other corrupt snapshot.
+		st.Close()
+		s.met.walCorrupt.Add(1)
+		return fmt.Errorf("server: snapshot fingerprint mismatch in %s", dir)
+	}
+
+	popts := persistOpts{
+		repairThreshold: int(snap.RepairThreshold),
+		cacheSize:       int(snap.CacheSize),
+		noFlip:          snap.NoFlip,
+	}
+	// Restore at the snapshot point: the verification sweep checks the
+	// certificates against the exact topology they were written for, so
+	// a clean snapshot is accepted without re-proving.
+	ps, err := planarcert.RestoreSession(&planarcert.SessionSnapshot{
+		Scheme:       planarcert.SchemeName(snap.Scheme),
+		ActiveScheme: planarcert.SchemeName(snap.ActiveScheme),
+		Generation:   snap.Generation,
+		Network:      net,
+		Certificates: certificatesOf(snap.Certs),
+	}, s.cfg.Engine, popts.options()...)
+	if err != nil {
+		st.Close()
+		return fmt.Errorf("server: restore %q: %w", snap.Name, err)
+	}
+
+	// Replay the WAL tail through the live session, exactly as when each
+	// batch was acked. The first tail batch re-proves (the structured
+	// repair state is not persisted), later ones repair incrementally —
+	// so a crash boot pays one prover run, while a clean-shutdown boot
+	// (empty tail) restores on the verification sweep alone.
+	applied, tailCorrupt := 0, false
+	for _, b := range rec.Tail {
+		updates, err := sessionUpdates(b.Updates)
+		if err == nil {
+			_, err = ps.Apply(updates)
+		}
+		if err != nil {
+			// A logged batch was valid when acked, so this only happens if
+			// corruption slipped past the CRCs; keep the prefix that
+			// applied cleanly.
+			s.met.walCorrupt.Add(1)
+			tailCorrupt = true
+			break
+		}
+		applied++
+	}
+
+	ms := newSession(snap.Name, planarcert.SchemeName(snap.Scheme), ps, s.cfg.WatchBuffer)
+	s.adopt(ms)
+	ms.store = st
+	ms.popts = popts
+
+	s.mu.Lock()
+	if s.closing || s.sessions[snap.Name] != nil || len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		st.Close()
+		return fmt.Errorf("server: cannot register restored session %q", snap.Name)
+	}
+	s.sessions[snap.Name] = ms
+	s.mu.Unlock()
+
+	// Fold a replayed tail into a fresh snapshot so the next boot starts
+	// from it (and the WAL compacts to empty). A tail-free boot changes
+	// nothing, so the existing snapshot stays authoritative as-is.
+	if applied > 0 || tailCorrupt || rec.Stats.CorruptRecords > 0 {
+		ms.mu.Lock()
+		_ = ms.writeSnapshotLocked()
+		ms.mu.Unlock()
+	}
+
+	s.met.sessionsRestored.Add(1)
+	return nil
+}
+
+// networkOf materialises a snapshot's graph.
+func networkOf(snap *wal.Snapshot) (*planarcert.Network, error) {
+	net := planarcert.NewNetwork()
+	for _, id := range snap.Nodes {
+		if err := net.AddNode(planarcert.NodeID(id)); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range snap.Edges {
+		if err := net.AddEdge(planarcert.NodeID(e[0]), planarcert.NodeID(e[1])); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+// sessionUpdates converts one WAL batch back to session updates.
+func sessionUpdates(in []wal.Update) ([]planarcert.Update, error) {
+	out := make([]planarcert.Update, len(in))
+	for i, u := range in {
+		a, b := planarcert.NodeID(u.A), planarcert.NodeID(u.B)
+		switch u.Op {
+		case wal.OpAddNode:
+			out[i] = planarcert.NodeAdd(a)
+		case wal.OpAddEdge:
+			out[i] = planarcert.EdgeAdd(a, b)
+		case wal.OpRemoveEdge:
+			out[i] = planarcert.EdgeRemove(a, b)
+		default:
+			return nil, fmt.Errorf("server: unknown logged op %d", u.Op)
+		}
+	}
+	return out, nil
+}
+
+// walUpdates converts an absorbed batch to its WAL record form.
+func walUpdates(in []planarcert.Update) []wal.Update {
+	out := make([]wal.Update, len(in))
+	for i, u := range in {
+		var op wal.Op
+		switch u.Op {
+		case planarcert.OpAddEdge:
+			op = wal.OpAddEdge
+		case planarcert.OpRemoveEdge:
+			op = wal.OpRemoveEdge
+		case planarcert.OpAddNode:
+			op = wal.OpAddNode
+		}
+		out[i] = wal.Update{Op: op, A: int64(u.A), B: int64(u.B)}
+	}
+	return out
+}
+
+// walNodes lists a network's node identifiers in sorted order, so
+// snapshot bytes are deterministic for a given topology.
+func walNodes(net *planarcert.Network) []int64 {
+	ids := net.IDs()
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// walEdges lists a network's edges, each smaller-endpoint-first, in
+// lexicographic order.
+func walEdges(net *planarcert.Network) [][2]int64 {
+	edges := net.Edges()
+	out := make([][2]int64, len(edges))
+	for i, e := range edges {
+		out[i] = [2]int64{int64(e[0]), int64(e[1])}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// walCerts converts a certificate assignment to its snapshot form
+// (EncodeSnapshot sorts by node).
+func walCerts(certs planarcert.Certificates) []wal.NodeCert {
+	out := make([]wal.NodeCert, 0, len(certs))
+	for id, c := range certs {
+		out = append(out, wal.NodeCert{ID: int64(id), Bits: int64(c.Bits), Data: c.Data})
+	}
+	return out
+}
+
+// certificatesOf rebuilds an assignment from its snapshot form.
+func certificatesOf(in []wal.NodeCert) planarcert.Certificates {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(planarcert.Certificates, len(in))
+	for _, c := range in {
+		out[planarcert.NodeID(c.ID)] = planarcert.Certificate{Data: c.Data, Bits: int(c.Bits)}
+	}
+	return out
+}

@@ -1,0 +1,364 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/wal"
+)
+
+// newDurableServer builds a recovered durable server over dir. Tests
+// that simulate a crash construct the first incarnation with New +
+// Recover directly and simply abandon it (no Close), so no final
+// snapshot or WAL flush happens.
+func newDurableServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.DataDir = dir
+	cfg.Fsync = wal.SyncNever // tests survive SIGKILL, not power loss
+	srv := New(cfg)
+	if err := srv.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func sessionGraph(t *testing.T, base, name string) GraphExport {
+	t.Helper()
+	var g GraphExport
+	doJSON(t, "GET", base+"/v1/sessions/"+name+"/graph", nil, http.StatusOK, &g)
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i] < g.Nodes[j] })
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i][0] != g.Edges[j][0] {
+			return g.Edges[i][0] < g.Edges[j][0]
+		}
+		return g.Edges[i][1] < g.Edges[j][1]
+	})
+	return g
+}
+
+// TestDurableSessionRecovery is the round trip: sessions built on one
+// server incarnation come back on the next with the same topology,
+// generation floor, options, and a certified assignment.
+func TestDurableSessionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srvA, tsA := newDurableServer(t, dir, Config{SnapshotEvery: 2})
+
+	var st SessionStatus
+	doJSON(t, "POST", tsA.URL+"/v1/sessions", CreateSessionRequest{
+		Name:   "ring",
+		Scheme: planarcert.SchemePlanarity,
+		Graph:  GraphSpec{EdgeList: "0 1\n1 2\n2 3\n3 0\n"},
+		NoFlip: true,
+	}, http.StatusCreated, &st)
+	if !st.Durable {
+		t.Fatalf("session not durable: %+v", st)
+	}
+	var ur UpdatesResponse
+	doJSON(t, "POST", tsA.URL+"/v1/sessions/ring/updates",
+		`{"op":"add_edge","a":0,"b":2}`, http.StatusOK, &ur)
+	doJSON(t, "POST", tsA.URL+"/v1/sessions/ring/updates",
+		"{\"op\":\"add_node\",\"a\":4}\n{\"op\":\"add_edge\",\"a\":4,\"b\":1}", http.StatusOK, &ur)
+	if ur.Report.Generation != 2 {
+		t.Fatalf("generation = %d, want 2", ur.Report.Generation)
+	}
+	// A second session that was uncertified at snapshot time.
+	doJSON(t, "POST", tsA.URL+"/v1/sessions", CreateSessionRequest{
+		Name:  "weird name/2",
+		Graph: GraphSpec{Edges: [][2]planarcert.NodeID{{0, 1}}},
+	}, http.StatusCreated, &st)
+
+	before := sessionGraph(t, tsA.URL, "ring")
+	srvA.Close() // graceful: drains, snapshots, closes stores
+	tsA.Close()
+
+	srvB, tsB := newDurableServer(t, dir, Config{SnapshotEvery: 2})
+	if n := srvB.SessionCount(); n != 2 {
+		t.Fatalf("recovered %d sessions, want 2", n)
+	}
+	doJSON(t, "GET", tsB.URL+"/v1/sessions/ring", nil, http.StatusOK, &st)
+	if !st.Certified || st.Generation < 2 || !st.Durable || st.Scheme != planarcert.SchemePlanarity {
+		t.Fatalf("recovered status: %+v", st)
+	}
+	after := sessionGraph(t, tsB.URL, "ring")
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("graph mismatch after recovery:\n before %+v\n after  %+v", before, after)
+	}
+	// The restored session keeps absorbing updates.
+	doJSON(t, "POST", tsB.URL+"/v1/sessions/ring/updates",
+		`{"op":"add_edge","a":4,"b":2}`, http.StatusOK, &ur)
+	if !ur.Report.Accepted {
+		t.Fatalf("post-recovery apply: %+v", ur.Report)
+	}
+	var rd Ready
+	doJSON(t, "GET", tsB.URL+"/readyz", nil, http.StatusOK, &rd)
+	if !rd.Ready || rd.SessionsRestored != 2 {
+		t.Fatalf("readyz = %+v", rd)
+	}
+}
+
+// TestRecoveryReplaysWalTail kills the first incarnation without a
+// graceful shutdown: acked batches that only made it to the WAL (the
+// snapshot interval is huge) must come back, with the self-validating
+// restore re-proving over the replayed topology.
+func TestRecoveryReplaysWalTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{SnapshotEvery: 1 << 20, DataDir: dir, Fsync: wal.SyncNever}
+	srvA := New(cfg)
+	if err := srvA.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA.Handler())
+
+	var st SessionStatus
+	doJSON(t, "POST", tsA.URL+"/v1/sessions", CreateSessionRequest{
+		Name:  "tail",
+		Graph: GraphSpec{EdgeList: "0 1\n1 2\n2 0\n"},
+	}, http.StatusCreated, &st)
+	var ur UpdatesResponse
+	for _, line := range []string{
+		`{"op":"add_node","a":3}`,
+		`{"op":"add_edge","a":3,"b":0}`,
+		`{"op":"add_edge","a":3,"b":1}`,
+		`{"op":"remove_edge","a":2,"b":0}`,
+	} {
+		doJSON(t, "POST", tsA.URL+"/v1/sessions/tail/updates", line, http.StatusOK, &ur)
+	}
+	before := sessionGraph(t, tsA.URL, "tail")
+	tsA.Close() // crash: no srvA.Close(), stores never snapshot the tail
+
+	srvB, tsB := newDurableServer(t, dir, Config{})
+	if n := srvB.SessionCount(); n != 1 {
+		t.Fatalf("recovered %d sessions, want 1", n)
+	}
+	doJSON(t, "GET", tsB.URL+"/v1/sessions/tail", nil, http.StatusOK, &st)
+	if !st.Certified || st.Generation < 4 {
+		t.Fatalf("recovered status: %+v", st)
+	}
+	after := sessionGraph(t, tsB.URL, "tail")
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("WAL tail lost:\n before %+v\n after  %+v", before, after)
+	}
+	if got := srvB.met.walReplayed.Load(); got != 4 {
+		t.Fatalf("replayed %d WAL records, want 4", got)
+	}
+}
+
+// TestRecoveryTruncatesCorruptWal flips a byte inside the logged tail:
+// recovery must keep the clean prefix, never panic, and still restore a
+// certified session.
+func TestRecoveryTruncatesCorruptWal(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{SnapshotEvery: 1 << 20, DataDir: dir, Fsync: wal.SyncNever}
+	srvA := New(cfg)
+	if err := srvA.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA.Handler())
+	var st SessionStatus
+	doJSON(t, "POST", tsA.URL+"/v1/sessions", CreateSessionRequest{
+		Name:  "chop",
+		Graph: GraphSpec{EdgeList: "0 1\n1 2\n2 0\n"},
+	}, http.StatusCreated, &st)
+	var ur UpdatesResponse
+	doJSON(t, "POST", tsA.URL+"/v1/sessions/chop/updates",
+		"{\"op\":\"add_node\",\"a\":3}\n{\"op\":\"add_edge\",\"a\":3,\"b\":0}", http.StatusOK, &ur)
+	doJSON(t, "POST", tsA.URL+"/v1/sessions/chop/updates", `{"op":"add_edge","a":3,"b":1}`, http.StatusOK, &ur)
+	tsA.Close() // crash
+
+	logPath := filepath.Join(dir, "sessions", "s-chop", "wal.log")
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0xff // damage the last record
+	if err := os.WriteFile(logPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srvB, tsB := newDurableServer(t, dir, Config{})
+	if n := srvB.SessionCount(); n != 1 {
+		t.Fatalf("recovered %d sessions, want 1", n)
+	}
+	doJSON(t, "GET", tsB.URL+"/v1/sessions/chop", nil, http.StatusOK, &st)
+	if !st.Certified {
+		t.Fatalf("recovered status: %+v", st)
+	}
+	// The clean prefix (node 3 and edge {3,0}) survives; the damaged
+	// record's edge {3,1} does not.
+	g := sessionGraph(t, tsB.URL, "chop")
+	if len(g.Nodes) != 4 || len(g.Edges) != 4 {
+		t.Fatalf("recovered graph %+v, want the 3-cycle plus pendant node 3", g)
+	}
+	if srvB.met.walCorrupt.Load() == 0 {
+		t.Fatal("corrupt WAL record not counted")
+	}
+}
+
+// TestRecoveryRevalidatesCertificates hand-writes a snapshot whose
+// certificates are semantically wrong but CRC-clean — damage no
+// checksum can catch. The proof-labeling scheme's own verification
+// sweep must reject them during restore and re-prove.
+func TestRecoveryRevalidatesCertificates(t *testing.T) {
+	dir := t.TempDir()
+	root, err := wal.OpenRoot(dir, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := root.CreateSession("tampered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := planarcert.NewNetwork()
+	for id := planarcert.NodeID(0); id < 4; id++ {
+		if err := net.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]planarcert.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := net.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hi, lo := net.Fingerprint()
+	snap := &wal.Snapshot{
+		Name:          "tampered",
+		Scheme:        string(planarcert.SchemePlanarity),
+		ActiveScheme:  string(planarcert.SchemePlanarity),
+		Generation:    7,
+		Seq:           0,
+		FingerprintHi: hi,
+		FingerprintLo: lo,
+		Nodes:         walNodes(net),
+		Edges:         walEdges(net),
+		Certs: []wal.NodeCert{ // garbage bits, valid encoding
+			{ID: 0, Bits: 16, Data: []byte{0xde, 0xad}},
+			{ID: 1, Bits: 16, Data: []byte{0xbe, 0xef}},
+			{ID: 2, Bits: 16, Data: []byte{0xca, 0xfe}},
+			{ID: 3, Bits: 16, Data: []byte{0x00, 0x01}},
+		},
+	}
+	if err := st.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, ts := newDurableServer(t, dir, Config{})
+	if n := srv.SessionCount(); n != 1 {
+		t.Fatalf("recovered %d sessions, want 1", n)
+	}
+	var status SessionStatus
+	doJSON(t, "GET", ts.URL+"/v1/sessions/tampered", nil, http.StatusOK, &status)
+	if !status.Certified {
+		t.Fatalf("session not re-proved after tampered restore: %+v", status)
+	}
+	if status.Last == nil || status.Last.Mode == "restore" {
+		t.Fatalf("tampered certificates restored verbatim: %+v", status.Last)
+	}
+	// A clean re-verification over the re-proved assignment accepts.
+	var rep planarcert.Report
+	doJSON(t, "POST", ts.URL+"/v1/sessions/tampered/verify", nil, http.StatusOK, &rep)
+	if !rep.Accepted {
+		t.Fatalf("re-proved session fails verification: %+v", rep)
+	}
+}
+
+// TestReadyzGatesTraffic drives the boot sequence: a durable server
+// answers 503 on /readyz and every session endpoint until Recover runs.
+func TestReadyzGatesTraffic(t *testing.T) {
+	srv := New(Config{DataDir: t.TempDir(), Fsync: wal.SyncNever})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var rd Ready
+	doJSON(t, "GET", ts.URL+"/readyz", nil, http.StatusServiceUnavailable, &rd)
+	if rd.Ready || rd.Status != "recovering" {
+		t.Fatalf("readyz before recovery = %+v", rd)
+	}
+	doJSON(t, "GET", ts.URL+"/v1/sessions", nil, http.StatusServiceUnavailable, nil)
+	doJSON(t, "POST", ts.URL+"/v1/sessions", CreateSessionRequest{Name: "x"}, http.StatusServiceUnavailable, nil)
+	// Liveness stays up throughout.
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, nil)
+
+	if err := srv.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	doJSON(t, "GET", ts.URL+"/readyz", nil, http.StatusOK, &rd)
+	if !rd.Ready || rd.Status != "ok" {
+		t.Fatalf("readyz after recovery = %+v", rd)
+	}
+	doJSON(t, "GET", ts.URL+"/v1/sessions", nil, http.StatusOK, nil)
+
+	srv.Close()
+	doJSON(t, "GET", ts.URL+"/readyz", nil, http.StatusServiceUnavailable, &rd)
+	if rd.Ready || rd.Status != "draining" {
+		t.Fatalf("readyz after close = %+v", rd)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/sessions", CreateSessionRequest{Name: "y"}, http.StatusServiceUnavailable, nil)
+}
+
+// TestDeleteRemovesDurableState checks DELETE erases the session's
+// directory so the next boot does not resurrect it.
+func TestDeleteRemovesDurableState(t *testing.T) {
+	dir := t.TempDir()
+	srvA, tsA := newDurableServer(t, dir, Config{})
+	doJSON(t, "POST", tsA.URL+"/v1/sessions", CreateSessionRequest{
+		Name:  "gone",
+		Graph: GraphSpec{EdgeList: "0 1\n"},
+	}, http.StatusCreated, nil)
+	doJSON(t, "DELETE", tsA.URL+"/v1/sessions/gone", nil, http.StatusNoContent, nil)
+	srvA.Close()
+	tsA.Close()
+
+	srvB, _ := newDurableServer(t, dir, Config{})
+	if n := srvB.SessionCount(); n != 0 {
+		t.Fatalf("deleted session resurrected (%d sessions)", n)
+	}
+	srvB.Close()
+}
+
+// TestRecoveryMetricsExposed checks the recovery counters named in the
+// ops contract appear on /metrics after a durable boot.
+func TestRecoveryMetricsExposed(t *testing.T) {
+	dir := t.TempDir()
+	srvA, tsA := newDurableServer(t, dir, Config{})
+	doJSON(t, "POST", tsA.URL+"/v1/sessions", CreateSessionRequest{
+		Name:  "m",
+		Graph: GraphSpec{EdgeList: "0 1\n1 2\n"},
+	}, http.StatusCreated, nil)
+	srvA.Close()
+	tsA.Close()
+
+	_, tsB := newDurableServer(t, dir, Config{})
+	resp, err := http.Get(tsB.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, name := range []string{
+		"planarcertd_recovery_seconds",
+		"planarcertd_wal_records_replayed",
+		"planarcertd_wal_corrupt_records",
+		"planarcertd_sessions_restored_total 1",
+	} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("metrics missing %q:\n%s", name, body)
+		}
+	}
+}

@@ -17,6 +17,7 @@
 // wire types):
 //
 //	GET    /healthz                        liveness + session/batch counters
+//	GET    /readyz                         503 until boot recovery completes
 //	GET    /metrics                        Prometheus text exposition
 //	GET    /v1/schemes                     available scheme names
 //	POST   /v1/certify                     one-shot prove + verify
@@ -29,7 +30,21 @@
 //	POST   /v1/sessions/{name}/flush       absorb the queued log as one batch
 //	POST   /v1/sessions/{name}/verify      full 1-round re-verification
 //	GET    /v1/sessions/{name}/certificates  current assignment
+//	GET    /v1/sessions/{name}/graph       current topology (node/edge lists)
 //	GET    /v1/sessions/{name}/watch       chunked NDJSON stream of SessionReports
+//
+// # Durability
+//
+// With Config.DataDir set, every session is backed by a write-ahead log
+// and periodic certificate snapshots (internal/wal): an applied batch
+// is logged before the request is acked, so an acked batch survives a
+// crash (under the default fsync policy, even power loss). On boot,
+// Recover restores each session from its newest valid snapshot plus the
+// WAL tail, truncating at the first corrupt record, and the
+// proof-labeling scheme's own full verification sweep validates the
+// restored certificates — stale or damaged assignments re-prove. The
+// /v1/sessions endpoints answer 503 until recovery completes; /readyz
+// distinguishes a recovering (or draining) daemon from a live one.
 package server
 
 import (
@@ -41,10 +56,13 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/wal"
 )
 
 // Config parameterises a Server.
@@ -64,6 +82,19 @@ type Config struct {
 	// MaxBatchUpdates bounds the number of NDJSON lines accepted in one
 	// updates request (0 = 65536).
 	MaxBatchUpdates int
+	// DataDir enables the durability layer when non-empty: every applied
+	// batch is written to a per-session WAL before it is acked, sessions
+	// snapshot periodically, and Recover restores them on boot. Callers
+	// setting DataDir must call Recover before serving traffic — session
+	// endpoints answer 503 until it completes (see /readyz).
+	DataDir string
+	// Fsync is the WAL fsync policy (zero value wal.SyncAlways: an acked
+	// batch survives power loss).
+	Fsync wal.SyncPolicy
+	// SnapshotEvery is the number of logged batches between automatic
+	// per-session snapshots (0 = 32). Explicit flushes and shutdown also
+	// snapshot.
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +110,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchUpdates <= 0 {
 		c.MaxBatchUpdates = 65536
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 32
+	}
 	return c
 }
 
@@ -90,6 +124,16 @@ type Server struct {
 	met    *metrics
 	start  time.Time
 	mux    *http.ServeMux
+
+	// root is the durability layer's data directory; nil until Recover
+	// opens it (and forever nil when Config.DataDir is empty).
+	root *wal.Root
+	// ready flips once boot replay has completed (immediately for a
+	// non-durable server). Session endpoints 503 while it is false.
+	ready atomic.Bool
+	// draining rejects new batches and session creations while shutdown
+	// flushes and snapshots the live sessions.
+	draining atomic.Bool
 
 	mu       sync.RWMutex
 	sessions map[string]*session
@@ -108,8 +152,14 @@ func New(cfg Config) *Server {
 		sessions: make(map[string]*session),
 	}
 	s.cfg.Engine.Budget = s.budget
+	// A non-durable server has nothing to recover and is born ready;
+	// a durable one flips ready inside Recover.
+	if cfg.DataDir == "" {
+		s.ready.Store(true)
+	}
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("POST /v1/certify", s.handleCertify)
@@ -122,23 +172,46 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{name}/flush", s.handleFlush)
 	s.mux.HandleFunc("POST /v1/sessions/{name}/verify", s.handleSessionVerify)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/certificates", s.handleCertificates)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/graph", s.handleSessionGraph)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/watch", s.handleWatch)
 	return s
 }
 
-// Handler returns the HTTP handler with request accounting.
+// adopt wires a session into the server's metrics and snapshot policy.
+func (s *Server) adopt(ms *session) {
+	ms.met = s.met
+	ms.snapEvery = s.cfg.SnapshotEvery
+	ms.broadcastHook = func(delivered, dropped int) {
+		s.met.watchEvents.Add(uint64(delivered))
+		s.met.watchDropped.Add(uint64(dropped))
+	}
+}
+
+// Handler returns the HTTP handler with request accounting. Session
+// endpoints are gated behind boot recovery: until Recover completes
+// they answer 503, so a load balancer probing /readyz and a client
+// racing the boot see the same story.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.met.httpRequests.Add(1)
+		if !s.ready.Load() && strings.HasPrefix(r.URL.Path, "/v1/sessions") {
+			writeError(w, http.StatusServiceUnavailable, "recovering: session replay in progress")
+			return
+		}
 		s.mux.ServeHTTP(w, r)
 	})
 }
 
-// Close deletes every session, terminating their watch streams, and
-// refuses further session creation (503), so an HTTP Shutdown started
-// right after cannot be wedged by a freshly created watch stream. It is
-// the daemon's shutdown hook.
+// Close drains and deletes every session, terminating their watch
+// streams, and refuses further session creation (503), so an HTTP
+// Shutdown started right after cannot be wedged by a freshly created
+// watch stream. On a durable server the drain is ordered: new batches
+// are rejected first (draining), then each session absorbs its queued
+// updates as one final logged batch, writes a final snapshot, and
+// closes its store — in-flight applies finish first because shutdown
+// takes the same per-session mutex. It is the daemon's shutdown hook.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.mu.Lock()
 	s.closing = true
 	all := make([]*session, 0, len(s.sessions))
@@ -148,7 +221,7 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	for _, ms := range all {
-		ms.close()
+		ms.shutdown()
 		s.met.sessionsDeleted.Add(1)
 	}
 }
@@ -201,6 +274,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Batches:       s.met.modeCounts(),
 	})
+}
+
+// handleReadyz is the readiness probe, distinct from the /healthz
+// liveness probe: a recovering or draining daemon is alive but must not
+// receive traffic yet (or anymore).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rd := Ready{
+		Ready:            true,
+		Status:           "ok",
+		Sessions:         s.SessionCount(),
+		SessionsRestored: s.met.sessionsRestored.Load(),
+		RecoverySeconds:  s.met.recoverySeconds(),
+	}
+	switch {
+	case !s.ready.Load():
+		rd.Ready, rd.Status = false, "recovering"
+	case s.draining.Load():
+		rd.Ready, rd.Status = false, "draining"
+	}
+	code := http.StatusOK
+	if !rd.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rd)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -313,18 +410,52 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ms := newSession(req.Name, scheme, ps, s.cfg.WatchBuffer)
-	ms.broadcastHook = func(delivered, dropped int) {
-		s.met.watchEvents.Add(uint64(delivered))
-		s.met.watchDropped.Add(uint64(dropped))
+	s.adopt(ms)
+	ms.popts = persistOpts{
+		repairThreshold: req.RepairThreshold,
+		cacheSize:       req.CacheSize,
+		noFlip:          req.NoFlip,
 	}
 
+	// On a durable server the session's store and initial snapshot are
+	// set up after registration but under ms.mu, so a concurrent apply
+	// that finds the session in the registry blocks until the store
+	// exists — no batch can slip by unlogged.
+	durable := s.root != nil
+	if durable {
+		ms.mu.Lock()
+	}
 	s.mu.Lock()
 	if !s.admitLocked(w, req.Name) {
 		s.mu.Unlock()
+		if durable {
+			ms.mu.Unlock()
+		}
 		return
 	}
 	s.sessions[req.Name] = ms
 	s.mu.Unlock()
+	if durable {
+		st, err := s.root.CreateSession(req.Name)
+		if err == nil {
+			ms.store = st
+			err = ms.writeSnapshotLocked()
+		}
+		if err != nil {
+			ms.store = nil
+			ms.mu.Unlock()
+			s.mu.Lock()
+			delete(s.sessions, req.Name)
+			s.mu.Unlock()
+			if st != nil {
+				st.Close()
+			}
+			ms.close()
+			writeError(w, http.StatusInternalServerError, "persist session: %v", err)
+			return
+		}
+		ms.mu.Unlock()
+	}
 	s.met.sessionsCreated.Add(1)
 	writeJSON(w, http.StatusCreated, ms.status())
 }
@@ -340,7 +471,7 @@ func (s *Server) admit(w http.ResponseWriter, name string) bool {
 // admitLocked is admit's body; the caller holds s.mu (read or write).
 func (s *Server) admitLocked(w http.ResponseWriter, name string) bool {
 	switch {
-	case s.closing:
+	case s.closing, s.draining.Load():
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return false
 	case s.sessions[name] != nil:
@@ -388,6 +519,13 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ms.close()
+	ms.closeStore()
+	if s.root != nil {
+		if err := s.root.RemoveSession(name); err != nil {
+			writeError(w, http.StatusInternalServerError, "remove durable state: %v", err)
+			return
+		}
+	}
 	s.met.sessionsDeleted.Add(1)
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -403,6 +541,10 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 // again including previously queued updates; clients mixing queue-mode
 // writers must coordinate or accept that coupling.
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	ms := s.lookup(r.PathValue("name"))
 	if ms == nil {
 		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
@@ -461,15 +603,32 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 
 	rep, elapsed, err := ms.apply(updates)
 	if err != nil {
-		s.met.batchesRejected.Add(1)
-		writeError(w, http.StatusUnprocessableEntity, "batch rejected: %v", err)
+		s.batchError(w, err)
 		return
 	}
 	s.met.batchDone(rep.Mode, rep.Updates, elapsed.Seconds())
 	writeJSON(w, http.StatusOK, UpdatesResponse{Queued: len(updates), Report: rep})
 }
 
+// batchError maps a failed apply/flush to its status: a batch the
+// session rejected is the client's fault (422), a batch that could not
+// be made durable is the server's (500) and was NOT acked — though it
+// was applied in memory, so the client must re-sync before retrying.
+func (s *Server) batchError(w http.ResponseWriter, err error) {
+	var pe *persistError
+	if errors.As(err, &pe) {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.met.batchesRejected.Add(1)
+	writeError(w, http.StatusUnprocessableEntity, "batch rejected: %v", err)
+}
+
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	ms := s.lookup(r.PathValue("name"))
 	if ms == nil {
 		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
@@ -477,8 +636,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, elapsed, err := ms.flush()
 	if err != nil {
-		s.met.batchesRejected.Add(1)
-		writeError(w, http.StatusUnprocessableEntity, "batch rejected: %v", err)
+		s.batchError(w, err)
 		return
 	}
 	s.met.batchDone(rep.Mode, rep.Updates, elapsed.Seconds())
@@ -503,6 +661,24 @@ func (s *Server) handleCertificates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, wireCertificates(ms.certificates()))
+}
+
+// handleSessionGraph exports the session's live topology. The crashloop
+// harness uses it to compare recovered state against a client-side
+// mirror edge for edge.
+func (s *Server) handleSessionGraph(w http.ResponseWriter, r *http.Request) {
+	ms := s.lookup(r.PathValue("name"))
+	if ms == nil {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		return
+	}
+	net := ms.network()
+	hi, lo := net.Fingerprint()
+	writeJSON(w, http.StatusOK, GraphExport{
+		Nodes:       net.IDs(),
+		Edges:       net.Edges(),
+		Fingerprint: fmt.Sprintf("%016x%016x", hi, lo),
+	})
 }
 
 // handleWatch streams one SessionReport per flushed batch as chunked

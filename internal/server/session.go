@@ -5,6 +5,7 @@ import (
 	"time"
 
 	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/wal"
 )
 
 // session is one named, server-managed certification session: the
@@ -27,6 +28,21 @@ type session struct {
 	mu      sync.Mutex
 	s       *planarcert.Session
 	pending int // updates queued but not yet flushed
+
+	// Durability (all guarded by mu; store == nil means the session is
+	// not persisted). pendingLog mirrors the queued-but-unflushed update
+	// log so the WAL record of the next apply/flush carries the FULL
+	// absorbed batch, including updates other clients queued earlier.
+	store      *wal.Store
+	snapEvery  int // logged batches between automatic snapshots
+	sinceSnap  int
+	pendingLog []planarcert.Update
+	// logDirty marks a failed WAL append: the log file may end in torn
+	// bytes, so further appends are unsafe until a snapshot resets it.
+	// While set, every ack requires a successful snapshot instead.
+	logDirty bool
+	popts    persistOpts
+	met      *metrics // nil-safe; recovery/persistence counters
 
 	watchMu   sync.Mutex
 	watchers  map[uint64]chan *planarcert.SessionReport
@@ -53,6 +69,28 @@ func newSession(name string, scheme planarcert.SchemeName, s *planarcert.Session
 	}
 }
 
+// persistOpts are the session options the durability layer carries in
+// every snapshot, so a restored session is tuned like the original.
+type persistOpts struct {
+	repairThreshold int
+	cacheSize       int
+	noFlip          bool
+}
+
+func (o persistOpts) options() []planarcert.SessionOption {
+	var opts []planarcert.SessionOption
+	if o.repairThreshold != 0 {
+		opts = append(opts, planarcert.WithRepairThreshold(o.repairThreshold))
+	}
+	if o.cacheSize != 0 {
+		opts = append(opts, planarcert.WithCacheSize(o.cacheSize))
+	}
+	if o.noFlip {
+		opts = append(opts, planarcert.WithoutFlip())
+	}
+	return opts
+}
+
 // queue appends updates to the session's log without flushing. The
 // updates were already converted from wire form, so Queue cannot fail
 // (it only rejects unknown ops).
@@ -62,9 +100,84 @@ func (ms *session) queue(updates []planarcert.Update) (pending int) {
 	for _, u := range updates {
 		if err := ms.s.Queue(u); err == nil {
 			ms.pending++
+			if ms.store != nil {
+				ms.pendingLog = append(ms.pendingLog, u)
+			}
 		}
 	}
 	return ms.pending
+}
+
+// persistBatchLocked makes one absorbed batch durable (log-before-ack):
+// the caller has already applied it to the in-memory session and must
+// not ack until this returns nil. The normal path appends one WAL
+// record; every snapEvery-th record also writes a snapshot. If an
+// append fails the log file may end in torn bytes, so the fallback
+// writes a snapshot instead — it carries the batch's effect and resets
+// the log — and the session stays in that mode until a snapshot lands.
+func (ms *session) persistBatchLocked(updates []planarcert.Update) error {
+	if ms.store == nil || (len(updates) == 0 && !ms.logDirty) {
+		return nil
+	}
+	if !ms.logDirty && len(updates) > 0 {
+		if err := ms.store.AppendBatch(ms.store.NextSeq(), walUpdates(updates)); err == nil {
+			if ms.met != nil {
+				ms.met.walAppends.Add(1)
+			}
+			ms.sinceSnap++
+			if ms.sinceSnap >= ms.snapEvery {
+				// The batch is already durable in the log; a failed
+				// periodic snapshot is retried at the next batch and must
+				// not fail the ack.
+				_ = ms.writeSnapshotLocked()
+			}
+			return nil
+		}
+		ms.logDirty = true
+	}
+	return ms.writeSnapshotLocked()
+}
+
+// writeSnapshotLocked persists the session's current state. After it
+// returns nil the WAL has been compacted to empty (the snapshot carries
+// everything) and a failed-append state, if any, is cleared.
+func (ms *session) writeSnapshotLocked() error {
+	if ms.store == nil {
+		return nil
+	}
+	seq := ms.store.LastSeq()
+	if ms.logDirty {
+		// The state includes a batch that never reached the log; give the
+		// snapshot the sequence number that batch would have used so its
+		// file name stays strictly newer than the last good snapshot's.
+		seq = ms.store.NextSeq()
+	}
+	snap := ms.s.Snapshot()
+	hi, lo := ms.s.Fingerprint()
+	ws := &wal.Snapshot{
+		Name:            ms.name,
+		Scheme:          string(ms.scheme),
+		ActiveScheme:    string(snap.ActiveScheme),
+		Generation:      snap.Generation,
+		Seq:             seq,
+		FingerprintHi:   hi,
+		FingerprintLo:   lo,
+		RepairThreshold: int64(ms.popts.repairThreshold),
+		CacheSize:       int64(ms.popts.cacheSize),
+		NoFlip:          ms.popts.noFlip,
+		Nodes:           walNodes(snap.Network),
+		Edges:           walEdges(snap.Network),
+		Certs:           walCerts(snap.Certificates),
+	}
+	if err := ms.store.WriteSnapshot(ws); err != nil {
+		return err
+	}
+	ms.sinceSnap = 0
+	ms.logDirty = false
+	if ms.met != nil {
+		ms.met.snapshotsWritten.Add(1)
+	}
+	return nil
 }
 
 // flush absorbs the whole pending log as one batch and broadcasts the
@@ -76,6 +189,8 @@ func (ms *session) queue(updates []planarcert.Update) (pending int) {
 func (ms *session) flush() (*planarcert.SessionReport, time.Duration, error) {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
+	batch := ms.pendingLog
+	ms.pendingLog = nil
 	start := time.Now()
 	rep, err := ms.s.Flush()
 	elapsed := time.Since(start)
@@ -84,6 +199,14 @@ func (ms *session) flush() (*planarcert.SessionReport, time.Duration, error) {
 	ms.pending = 0
 	if err != nil {
 		return nil, elapsed, err
+	}
+	if err := ms.persistBatchLocked(batch); err != nil {
+		return nil, elapsed, &persistError{err}
+	}
+	if ms.store != nil {
+		// An explicit flush is a client checkpoint: force a snapshot so
+		// the durable state converges even on a mostly-queueing workload.
+		_ = ms.writeSnapshotLocked()
 	}
 	ms.broadcast(rep)
 	return rep, elapsed, nil
@@ -96,6 +219,13 @@ func (ms *session) flush() (*planarcert.SessionReport, time.Duration, error) {
 func (ms *session) apply(updates []planarcert.Update) (*planarcert.SessionReport, time.Duration, error) {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
+	// Apply absorbs the whole pending log plus this request's updates as
+	// one batch; the WAL record must carry all of it.
+	batch := updates
+	if len(ms.pendingLog) > 0 {
+		batch = append(append([]planarcert.Update{}, ms.pendingLog...), updates...)
+	}
+	ms.pendingLog = nil
 	start := time.Now()
 	rep, err := ms.s.Apply(updates)
 	elapsed := time.Since(start)
@@ -103,9 +233,19 @@ func (ms *session) apply(updates []planarcert.Update) (*planarcert.SessionReport
 	if err != nil {
 		return nil, elapsed, err
 	}
+	if err := ms.persistBatchLocked(batch); err != nil {
+		return nil, elapsed, &persistError{err}
+	}
 	ms.broadcast(rep)
 	return rep, elapsed, nil
 }
+
+// persistError marks a batch that was applied in memory but could not
+// be made durable; the handler maps it to 500 instead of 422.
+type persistError struct{ err error }
+
+func (e *persistError) Error() string { return "persist batch: " + e.err.Error() }
+func (e *persistError) Unwrap() error { return e.err }
 
 // verify re-runs the full 1-round verification.
 func (ms *session) verify() (*planarcert.Report, time.Duration) {
@@ -124,6 +264,13 @@ func (ms *session) certificates() planarcert.Certificates {
 	return ms.s.Certificates()
 }
 
+// network snapshots the live network (deep copy).
+func (ms *session) network() *planarcert.Network {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.s.Network()
+}
+
 // status snapshots the session for the REST surface.
 func (ms *session) status() *SessionStatus {
 	ms.mu.Lock()
@@ -138,6 +285,10 @@ func (ms *session) status() *SessionStatus {
 		Pending:      ms.pending,
 		Last:         ms.s.Last(),
 		CreatedAt:    ms.created,
+	}
+	if ms.store != nil {
+		st.Durable = true
+		st.WalSeq = ms.store.LastSeq()
 	}
 	ms.mu.Unlock()
 	ms.watchMu.Lock()
@@ -198,6 +349,40 @@ func (ms *session) broadcast(rep *planarcert.SessionReport) (delivered, dropped 
 		ms.broadcastHook(delivered, dropped)
 	}
 	return delivered, dropped
+}
+
+// shutdown drains the session for a graceful daemon exit: any queued
+// updates are absorbed as one final (logged) batch, a final snapshot is
+// written, the store is closed, and the watch streams terminate. For a
+// non-durable session it only closes the watchers.
+func (ms *session) shutdown() {
+	ms.mu.Lock()
+	if ms.store != nil {
+		if len(ms.pendingLog) > 0 {
+			batch := ms.pendingLog
+			ms.pendingLog = nil
+			if _, err := ms.s.Flush(); err == nil {
+				_ = ms.persistBatchLocked(batch)
+			}
+			ms.pending = 0
+		}
+		_ = ms.writeSnapshotLocked()
+		_ = ms.store.Close()
+		ms.store = nil
+	}
+	ms.mu.Unlock()
+	ms.close()
+}
+
+// closeStore releases the session's store without a final snapshot
+// (session deletion: the durable state is about to be removed).
+func (ms *session) closeStore() {
+	ms.mu.Lock()
+	if ms.store != nil {
+		_ = ms.store.Close()
+		ms.store = nil
+	}
+	ms.mu.Unlock()
 }
 
 // close marks the session deleted and closes every watcher channel so

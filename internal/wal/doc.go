@@ -1,0 +1,42 @@
+// Package wal implements planarcertd's durability layer: a per-session
+// write-ahead log of update batches plus periodic certificate
+// snapshots, with crash recovery that truncates at the first torn or
+// corrupt record.
+//
+// The design leans on the self-validating nature of proof-labeling
+// schemes (Feuilloley et al., PODC 2020): a snapshot carries a full
+// certificate assignment whose integrity the scheme itself can check —
+// after a restore, one verification sweep either accepts the assignment
+// or demotes the session to a re-prove from the replayed graph. The
+// storage layer therefore only has to guarantee that *acked state is
+// not silently lost or silently wrong*; semantic validity is re-checked
+// above it.
+//
+// On-disk layout of one session directory (managed by Store):
+//
+//	wal.log                          append-only update-batch log
+//	snap-<seq>-<fingerprint>.snap    certificate snapshots, newest wins
+//
+// Both formats are versioned and frozen by golden-bytes tests
+// (TestGoldenWAL, TestGoldenSnapshot): a change that alters the bytes
+// must bump the format version and keep decoding the old one.
+//
+// WAL format: a 12-byte file header ("PCERTWAL" + uint32 LE version),
+// then records of
+//
+//	uint32 LE payload length | uint32 LE CRC32-IEEE(payload) | payload
+//
+// where the payload is a uint64 LE batch sequence number followed by a
+// uvarint update count and per-update (op byte, varint A, varint B).
+// Sequence numbers are strictly monotonic; replay stops — and the log
+// is truncated — at the first record that is torn, fails its CRC,
+// regresses the sequence, or does not decode.
+//
+// Snapshot format: an 8-byte magic ("PCERTSNP") + uint32 LE version +
+// uint32 LE body length, the body (session name, scheme names,
+// generation, covered WAL sequence, the 128-bit topology fingerprint,
+// session options, node list, edge list, certificate assignment), and a
+// trailing uint32 LE CRC32-IEEE over the body. Snapshots are written to
+// a temporary file and renamed into place, so a crash mid-write never
+// shadows the previous good snapshot.
+package wal

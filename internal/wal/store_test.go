@@ -1,0 +1,290 @@
+package wal
+
+import (
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func goldenSnapshot() *Snapshot {
+	return &Snapshot{
+		Name: "s1", Scheme: "planarity", ActiveScheme: "planarity",
+		Generation: 3, Seq: 2,
+		FingerprintHi: 0x0123456789abcdef, FingerprintLo: 0xfedcba9876543210,
+		RepairThreshold: 0, CacheSize: -1, NoFlip: true,
+		Nodes: []int64{0, 1, 2},
+		Edges: [][2]int64{{0, 1}, {1, 2}},
+		Certs: []NodeCert{{ID: 1, Bits: 10, Data: []byte{0xab, 0xc0}}, {ID: 0, Bits: 4, Data: []byte{0x50}}},
+	}
+}
+
+// goldenSnapshotHex freezes the snapshot on-disk format. If this test
+// breaks, the format changed: bump snapVersion and keep decoding
+// version 1 — do not just update the constant.
+const goldenSnapshotHex = "5043455254534e50010000004d00000002733109706c616e617269747909706c616e617269747903000000000000000200000000000000efcdab89674523011032547698badcfe0001010300020402000202040200080150021402abc098c0b10f"
+
+func TestGoldenSnapshot(t *testing.T) {
+	raw := EncodeSnapshot(goldenSnapshot())
+	if got := hex.EncodeToString(raw); got != goldenSnapshotHex {
+		t.Fatalf("snapshot bytes changed (on-disk format must stay frozen):\n got %s\nwant %s", got, goldenSnapshotHex)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := goldenSnapshot()
+	got, err := DecodeSnapshot(EncodeSnapshot(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encoding sorts certificates by id; normalise before comparing.
+	want.Certs = []NodeCert{want.Certs[1], want.Certs[0]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSnapshotBitFlip flips every byte and asserts decoding rejects the
+// damage (or, for the rare flips inside ignored padding, still yields a
+// structurally valid snapshot) without ever panicking.
+func TestSnapshotBitFlip(t *testing.T) {
+	raw := EncodeSnapshot(goldenSnapshot())
+	for pos := 0; pos < len(raw); pos++ {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x20
+		if _, err := DecodeSnapshot(mut); err == nil {
+			t.Fatalf("pos=%d: flipped snapshot accepted (CRC must catch every body flip)", pos)
+		}
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := DecodeSnapshot(raw[:cut]); err == nil {
+			t.Fatalf("cut=%d: truncated snapshot accepted", cut)
+		}
+	}
+}
+
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add(EncodeSnapshot(goldenSnapshot()))
+	f.Add([]byte("PCERTSNP"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err == nil && s == nil {
+			t.Fatal("nil snapshot without error")
+		}
+	})
+}
+
+func TestStoreRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, rec, err := OpenStore(dir, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot != nil || len(rec.Tail) != 0 {
+		t.Fatalf("fresh store recovered state: %+v", rec)
+	}
+
+	// Batch 1, snapshot at seq 1, then batches 2 and 3 as the tail.
+	if err := st.AppendBatch(1, []Update{{Op: OpAddNode, A: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := goldenSnapshot()
+	snap.Seq = 1
+	if err := st.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if st.NextSeq() != 2 {
+		t.Fatalf("NextSeq after covered snapshot = %d, want 2", st.NextSeq())
+	}
+	b2 := []Update{{Op: OpAddEdge, A: 2, B: 3}}
+	b3 := []Update{{Op: OpRemoveEdge, A: 2, B: 3}}
+	if err := st.AppendBatch(2, b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendBatch(3, b3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec2, err := OpenStore(dir, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if rec2.Snapshot == nil || rec2.Snapshot.Seq != 1 {
+		t.Fatalf("snapshot not recovered: %+v", rec2.Snapshot)
+	}
+	if len(rec2.Tail) != 2 || rec2.Tail[0].Seq != 2 || rec2.Tail[1].Seq != 3 {
+		t.Fatalf("tail mismatch: %+v", rec2.Tail)
+	}
+	if !reflect.DeepEqual(rec2.Tail[0].Updates, b2) || !reflect.DeepEqual(rec2.Tail[1].Updates, b3) {
+		t.Fatalf("tail updates mismatch: %+v", rec2.Tail)
+	}
+	if st2.NextSeq() != 4 {
+		t.Fatalf("NextSeq = %d, want 4", st2.NextSeq())
+	}
+}
+
+// TestStoreSnapshotFallback corrupts the newest snapshot and asserts
+// recovery falls back to the previous one, replaying the WAL records
+// past it.
+func TestStoreSnapshotFallback(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := OpenStore(dir, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendBatch(1, []Update{{Op: OpAddNode, A: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	s1 := goldenSnapshot()
+	s1.Seq = 1
+	s1.Generation = 1
+	if err := st.WriteSnapshot(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendBatch(2, []Update{{Op: OpAddNode, A: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := goldenSnapshot()
+	s2.Seq = 2
+	s2.Generation = 2
+	if err := st.WriteSnapshot(s2); err != nil {
+		t.Fatal(err)
+	}
+	// WAL was compacted at seq 2; append a tail record past it.
+	if err := st.AppendBatch(3, []Update{{Op: OpAddNode, A: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the middle of the newest snapshot file.
+	names, err := snapshotFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("expected 2 retained snapshots, got %v", names)
+	}
+	newest := filepath.Join(dir, names[1])
+	raw, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(newest, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec, err := OpenStore(dir, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if rec.SnapshotsDiscarded != 1 {
+		t.Fatalf("SnapshotsDiscarded = %d, want 1", rec.SnapshotsDiscarded)
+	}
+	if rec.Snapshot == nil || rec.Snapshot.Seq != 1 || rec.Snapshot.Generation != 1 {
+		t.Fatalf("fallback snapshot mismatch: %+v", rec.Snapshot)
+	}
+	// The tail must now start after seq 1. The seq-2 record itself was
+	// compacted away when snapshot 2 landed, so only seq 3 survives:
+	// durability holds because snapshot 2's batch is also re-derivable,
+	// but this test pins the layer's contract — tail strictly follows
+	// the loaded snapshot.
+	if len(rec.Tail) != 1 || rec.Tail[0].Seq != 3 {
+		t.Fatalf("tail after fallback: %+v", rec.Tail)
+	}
+}
+
+func TestStorePruneKeepsTwo(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := OpenStore(dir, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := st.AppendBatch(seq, []Update{{Op: OpAddNode, A: int64(seq)}}); err != nil {
+			t.Fatal(err)
+		}
+		snap := goldenSnapshot()
+		snap.Seq = seq
+		if err := st.WriteSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := snapshotFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != snapKeep {
+		t.Fatalf("retained %d snapshots, want %d: %v", len(names), snapKeep, names)
+	}
+}
+
+func TestRootSessionDirs(t *testing.T) {
+	root, err := OpenRoot(t.TempDir(), SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"plain-name", "we/ird na:me", "UPPER.case_1"} {
+		st, err := root.CreateSession(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		snap := goldenSnapshot()
+		snap.Name = name
+		if err := st.WriteSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+	}
+	dirs, err := root.SessionDirs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 3 {
+		t.Fatalf("got %d session dirs, want 3: %v", len(dirs), dirs)
+	}
+	// Round trip: every dir's snapshot carries the original name.
+	seen := map[string]bool{}
+	for _, d := range dirs {
+		_, rec, err := OpenStore(d, SyncNever)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Snapshot == nil {
+			t.Fatalf("%s: no snapshot", d)
+		}
+		seen[rec.Snapshot.Name] = true
+	}
+	for _, name := range []string{"plain-name", "we/ird na:me", "UPPER.case_1"} {
+		if !seen[name] {
+			t.Fatalf("session %q lost in dir mapping (saw %v)", name, seen)
+		}
+	}
+	// Unsafe names hex-encode under a disjoint prefix.
+	if base := filepath.Base(root.SessionDir("we/ird na:me")); !strings.HasPrefix(base, "x-") {
+		t.Fatalf("unsafe name mapped to %q", base)
+	}
+	if base := filepath.Base(root.SessionDir("plain-name")); base != "s-plain-name" {
+		t.Fatalf("safe name mapped to %q", base)
+	}
+	// Remove is idempotent.
+	if err := root.RemoveSession("plain-name"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.RemoveSession("plain-name"); err != nil {
+		t.Fatal(err)
+	}
+	if dirs, _ := root.SessionDirs(); len(dirs) != 2 {
+		t.Fatalf("remove left %v", dirs)
+	}
+}

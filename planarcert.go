@@ -43,6 +43,7 @@ import (
 	"github.com/planarcert/planarcert/internal/bits"
 	"github.com/planarcert/planarcert/internal/core"
 	"github.com/planarcert/planarcert/internal/dist"
+	"github.com/planarcert/planarcert/internal/dynamic"
 	"github.com/planarcert/planarcert/internal/graph"
 	"github.com/planarcert/planarcert/internal/interactive"
 	"github.com/planarcert/planarcert/internal/planarity"
@@ -120,6 +121,20 @@ func (n *Network) Connected() bool { return n.g.Connected() }
 // IDs returns all node identifiers in insertion order.
 func (n *Network) IDs() []NodeID { return n.g.IDs() }
 
+// Edges returns all undirected edges as identifier pairs, each with the
+// smaller identifier first, in insertion order.
+func (n *Network) Edges() [][2]NodeID {
+	out := make([][2]NodeID, 0, n.g.M())
+	for _, e := range n.g.Edges() {
+		a, b := n.g.IDOf(e.U), n.g.IDOf(e.V)
+		if a > b {
+			a, b = b, a
+		}
+		out = append(out, [2]NodeID{a, b})
+	}
+	return out
+}
+
 // Neighbors returns the identifiers of a node's neighbors, sorted.
 func (n *Network) Neighbors(id NodeID) []NodeID {
 	idx, ok := n.g.IndexOf(id)
@@ -136,6 +151,12 @@ func (n *Network) Neighbors(id NodeID) []NodeID {
 
 // Clone returns a deep copy.
 func (n *Network) Clone() *Network { return &Network{g: n.g.Clone()} }
+
+// Fingerprint returns the network's 128-bit order-independent topology
+// fingerprint: the key under which sessions cache and snapshot
+// certified topologies. Two networks with the same node identifiers and
+// the same edges share a fingerprint regardless of construction order.
+func (n *Network) Fingerprint() (hi, lo uint64) { return dynamic.FingerprintOf(n.g) }
 
 // FromGraph wraps an internal graph (used by the cmd tools and tests
 // inside this module).

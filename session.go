@@ -190,6 +190,90 @@ func NewSession(n *Network, name SchemeName, cfg EngineConfig, opts ...SessionOp
 	return &Session{d: d}, nil
 }
 
+// SessionSnapshot is the restorable state of a Session: everything a
+// persistence layer must save to rebuild the session after a restart.
+// The planarcertd WAL layer serialises it (keyed by the topology
+// fingerprint) and hands it back to RestoreSession on boot.
+type SessionSnapshot struct {
+	// Scheme is the scheme the session was created with.
+	Scheme SchemeName
+	// ActiveScheme is the scheme certifying the network at snapshot time
+	// (differs from Scheme after a planarity flip).
+	ActiveScheme SchemeName
+	// Generation is the number of batches absorbed at snapshot time.
+	Generation uint64
+	// Network is a deep copy of the live network.
+	Network *Network
+	// Certificates is a deep copy of the assignment (nil when the
+	// session was uncertified).
+	Certificates Certificates
+}
+
+// Snapshot captures the session's restorable state as deep copies, so
+// the caller can serialise it while the session keeps absorbing
+// batches.
+func (s *Session) Snapshot() *SessionSnapshot {
+	return &SessionSnapshot{
+		Scheme:       SchemeName(s.d.Scheme().Name()),
+		ActiveScheme: s.ActiveScheme(),
+		Generation:   s.Generation(),
+		Network:      s.Network(),
+		Certificates: s.Certificates(),
+	}
+}
+
+// RestoreSession rebuilds a session from a snapshot. Restoration is
+// self-validating: the snapshot's certificates are installed and the
+// active scheme's full 1-round verification sweep runs over them — the
+// exact soundness check the proof-labeling scheme defines — so a stale
+// or corrupted assignment is caught semantically and the session falls
+// back to re-proving from the snapshot's network. The returned session
+// is therefore always in a consistent state; check Certified or
+// Last().Mode ("restore" vs "reprove"/"flip"/"uncertified") to see
+// which path it took.
+func RestoreSession(snap *SessionSnapshot, cfg EngineConfig, opts ...SessionOption) (*Session, error) {
+	scheme, err := schemeByName(snap.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	var o sessionOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var counterpart pls.Scheme
+	if !o.noFlip {
+		switch snap.Scheme {
+		case SchemePlanarity:
+			counterpart = core.NonPlanarScheme{}
+		case SchemeNonPlanarity:
+			counterpart = core.PlanarScheme{}
+		}
+	}
+	var active pls.Scheme
+	if snap.ActiveScheme != "" && snap.ActiveScheme != snap.Scheme {
+		if active, err = schemeByName(snap.ActiveScheme); err != nil {
+			return nil, err
+		}
+	}
+	certs := cloneCertificates(snap.Certificates)
+	d, err := dynamic.Restore(snap.Network.g.Clone(), dynamic.Config{
+		Scheme:          scheme,
+		Counterpart:     counterpart,
+		RepairThreshold: o.repairThreshold,
+		CacheSize:       o.cacheSize,
+		EngineOpts:      cfg.options(),
+	}, active, map[NodeID]Certificate(certs), snap.Generation)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{d: d}, nil
+}
+
+// Fingerprint returns the session's 128-bit order-independent topology
+// fingerprint (the snapshot and certificate-cache key), maintained in
+// O(1) per update.
+func (s *Session) Fingerprint() (hi, lo uint64) { return s.d.Fingerprint() }
+
 // Apply queues the updates and absorbs the whole pending log as one
 // batch. A structurally invalid log (unknown endpoint, duplicate edge
 // or node, self-loop) is rejected and discarded without touching the

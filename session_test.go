@@ -209,3 +209,156 @@ func TestSessionQueueFlushPublic(t *testing.T) {
 		t.Fatalf("triangle growth: %+v (n=%d m=%d)", rep, s.N(), s.M())
 	}
 }
+
+// TestSessionSnapshotRestore round-trips a session through its
+// restorable snapshot: the restored session adopts the certificates via
+// the self-validating full sweep and keeps absorbing batches.
+func TestSessionSnapshotRestore(t *testing.T) {
+	net := triangulationNetwork(120, 7)
+	s, err := planarcert.NewSession(net, planarcert.SchemePlanarity, planarcert.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := s.Network().IDs()
+	if _, err := s.Apply([]planarcert.Update{planarcert.EdgeRemove(ids[0], s.Network().Neighbors(ids[0])[0])}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := s.Snapshot()
+	if snap.Generation != s.Generation() || snap.Network.M() != s.M() {
+		t.Fatalf("snapshot disagrees with session: %+v", snap)
+	}
+
+	r, err := planarcert.RestoreSession(snap, planarcert.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Certified() {
+		t.Fatalf("restored session uncertified: %+v", r.Last())
+	}
+	if mode := r.Last().Mode; mode != "restore" {
+		t.Fatalf("restore mode = %q, want restore (certificates were valid)", mode)
+	}
+	if r.Generation() != snap.Generation {
+		t.Fatalf("generation %d, want %d", r.Generation(), snap.Generation)
+	}
+	hi1, lo1 := s.Fingerprint()
+	hi2, lo2 := r.Fingerprint()
+	if hi1 != hi2 || lo1 != lo2 {
+		t.Fatalf("fingerprint mismatch after restore: %x%x vs %x%x", hi1, lo1, hi2, lo2)
+	}
+	if rep := r.Verify(); !rep.Accepted {
+		t.Fatalf("restored session fails full verification: %v", rep.Reasons)
+	}
+	// The restored session keeps working.
+	rep, err := r.Apply([]planarcert.Update{planarcert.NodeAdd(100000), planarcert.EdgeAdd(100000, ids[0])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted || !r.Certified() {
+		t.Fatalf("post-restore batch rejected: %+v", rep)
+	}
+}
+
+// TestSessionRestoreRejectsTamperedCerts flips bits in a snapshot's
+// certificates: the self-validating sweep must reject them and the
+// restore must fall back to a re-prove, never accepting a bad
+// assignment.
+func TestSessionRestoreRejectsTamperedCerts(t *testing.T) {
+	net := triangulationNetwork(80, 3)
+	s, err := planarcert.NewSession(net, planarcert.SchemePlanarity, planarcert.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	for id, c := range snap.Certificates {
+		if len(c.Data) > 0 {
+			c.Data[0] ^= 0xff
+			snap.Certificates[id] = c
+		}
+		break
+	}
+	r, err := planarcert.RestoreSession(snap, planarcert.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode := r.Last().Mode; mode == "restore" {
+		t.Fatal("tampered certificates restored verbatim")
+	}
+	if !r.Certified() {
+		t.Fatalf("re-prove fallback failed: %+v", r.Last())
+	}
+	if rep := r.Verify(); !rep.Accepted {
+		t.Fatalf("fallback assignment rejected: %v", rep.Reasons)
+	}
+}
+
+// TestSessionRestoreStaleCerts restores certificates against a network
+// that moved on (the replay-tail case): the sweep decides, and either
+// way the session ends certified with an accepted assignment.
+func TestSessionRestoreStaleCerts(t *testing.T) {
+	net := triangulationNetwork(80, 5)
+	s, err := planarcert.NewSession(net, planarcert.SchemePlanarity, planarcert.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	// Simulate a WAL tail: the graph gained a node + edge after the
+	// snapshot's certificates were taken.
+	if err := snap.Network.AddNode(99999); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Network.AddEdge(99999, snap.Network.IDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	r, err := planarcert.RestoreSession(snap, planarcert.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Certified() {
+		t.Fatalf("stale restore left session uncertified: %+v", r.Last())
+	}
+	if rep := r.Verify(); !rep.Accepted {
+		t.Fatalf("post-restore assignment rejected: %v", rep.Reasons)
+	}
+	if r.N() != 81 {
+		t.Fatalf("restored network lost the tail: n=%d", r.N())
+	}
+}
+
+// TestSessionRestoreAfterFlip restores a session whose active scheme
+// differs from its configured scheme (planarity flipped to the
+// Kuratowski witness scheme).
+func TestSessionRestoreAfterFlip(t *testing.T) {
+	net := planarcert.NewNetwork()
+	for id := planarcert.NodeID(0); id < 6; id++ {
+		if err := net.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a := planarcert.NodeID(0); a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			if err := net.AddEdge(a, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s, err := planarcert.NewSession(net, planarcert.SchemePlanarity, planarcert.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ActiveScheme() != planarcert.SchemeNonPlanarity {
+		t.Fatalf("K6 did not flip: %v", s.ActiveScheme())
+	}
+	snap := s.Snapshot()
+	r, err := planarcert.RestoreSession(snap, planarcert.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ActiveScheme() != planarcert.SchemeNonPlanarity || !r.Certified() {
+		t.Fatalf("flip lost in restore: scheme=%v certified=%v", r.ActiveScheme(), r.Certified())
+	}
+	if mode := r.Last().Mode; mode != "restore" {
+		t.Fatalf("restore mode = %q, want restore", mode)
+	}
+}
