@@ -33,6 +33,11 @@ func TestBenchSnapshotsWellFormed(t *testing.T) {
 		"BENCH_server.json": {
 			"ServerLoad/sessions=64/batch",
 			"ServerLoad/sessions=64/update",
+			"ServerLoad/mode=",
+		},
+		"BENCH_obs.json": {
+			"TraceBench/tracing=off/batch",
+			"TraceBench/tracing=on/batch",
 		},
 		"BENCH_recovery.json": {
 			"Recovery/n=50000/replay",
@@ -132,5 +137,33 @@ func TestBenchSnapshotsWellFormed(t *testing.T) {
 	}
 	if replay >= reprove {
 		t.Fatalf("committed snapshot violates the recovery bar: clean replay %d ns not faster than cold re-prove %d ns", replay, reprove)
+	}
+
+	// The acceptance bars of the observability layer: tracing every
+	// batch costs at most 5% throughput, and the trace decomposition
+	// actually explains the latency tail (one phase accounts for at
+	// least half of it — otherwise /debug/traces answers "where did the
+	// time go" with a shrug).
+	raw, err = os.ReadFile("BENCH_obs.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obs struct {
+		snapshot
+		OverheadPct float64 `json:"overhead_pct"`
+		P95         struct {
+			DominantPhase    string  `json:"dominant_phase"`
+			DominantFraction float64 `json:"dominant_fraction"`
+		} `json:"p95_decomposition"`
+	}
+	if err := json.Unmarshal(raw, &obs); err != nil {
+		t.Fatal(err)
+	}
+	if obs.OverheadPct > 5.0 {
+		t.Fatalf("committed snapshot violates the tracing-overhead bar: %.2f%% > 5%%", obs.OverheadPct)
+	}
+	if obs.P95.DominantPhase == "" || obs.P95.DominantFraction < 0.5 {
+		t.Fatalf("committed snapshot violates the attribution bar: dominant phase %q explains only %.0f%% of the tail",
+			obs.P95.DominantPhase, 100*obs.P95.DominantFraction)
 	}
 }

@@ -10,6 +10,7 @@
 //	experiments serverload      # planarcertd load generator (BENCH_server.json)
 //	experiments crashloop       # SIGKILL fault injection against the durable daemon
 //	experiments recoverybench   # boot replay vs cold re-prove (BENCH_recovery.json)
+//	experiments tracebench      # tracing overhead + latency-tail attribution (BENCH_obs.json)
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 			"serverload":    serverLoad,
 			"crashloop":     crashLoop,
 			"recoverybench": recoveryBench,
+			"tracebench":    traceBench,
 		}
 		if fn, ok := sub[os.Args[1]]; ok {
 			if err := fn(os.Args[2:]); err != nil {

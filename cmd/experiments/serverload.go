@@ -20,11 +20,120 @@ import (
 	"github.com/planarcert/planarcert/internal/server"
 )
 
-// serverLoad is the planarcertd load generator: it mounts the server
-// in-process, drives N concurrent sessions over real HTTP — each with
-// its own random chord add/remove stream and an attached watch stream —
-// and records a throughput snapshot (committed as BENCH_server.json and
-// guarded by TestBenchSnapshotsWellFormed).
+// loadOptions configures one in-process planarcertd load run: the
+// workload shape plus the server configuration under test (tracebench
+// reuses the same runner with tracing toggled).
+type loadOptions struct {
+	sessions int // concurrent sessions
+	batches  int // update batches per session
+	ops      int // updates per batch
+	nodes    int // initial nodes per session network
+	seed     int64
+	server   server.Config // MaxSessions is overridden by runLoad
+}
+
+// loadStats is what one load run measured.
+type loadStats struct {
+	wall        time.Duration
+	batches     int64
+	updates     int64
+	watchEvents int64
+	latencies   []time.Duration            // every batch latency, sorted
+	byMode      map[string][]time.Duration // batch latencies by absorption mode, sorted
+	modes       map[string]uint64          // the server's absorption-mode counters
+}
+
+// pct reads the p-th percentile from the sorted overall latencies.
+func (s *loadStats) pct(p float64) time.Duration { return pctDur(s.latencies, p) }
+
+func pctDur(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// runLoad mounts the server in-process and drives o.sessions concurrent
+// clients over real HTTP — each with its own random chord add/remove
+// stream and an attached watch stream. afterLoad (nil = none) runs
+// against the live base URL once every client is done but before
+// teardown, so callers can scrape /metrics or /debug/traces.
+func runLoad(o loadOptions, afterLoad func(base string) error) (*loadStats, error) {
+	cfg := o.server
+	cfg.MaxSessions = o.sessions + 8
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	st := &loadStats{byMode: make(map[string][]time.Duration)}
+	var (
+		totalBatches atomic.Int64
+		totalUpdates atomic.Int64
+		watchEvents  atomic.Int64
+		latencyMu    sync.Mutex
+	)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, o.sessions)
+	for i := 0; i < o.sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := driveSession(ts.URL, fmt.Sprintf("load%03d", i), o.nodes, o.batches, o.ops,
+				rand.New(rand.NewSource(o.seed+int64(i))),
+				&totalBatches, &totalUpdates, &watchEvents,
+				func(mode string, d time.Duration) {
+					latencyMu.Lock()
+					st.latencies = append(st.latencies, d)
+					st.byMode[mode] = append(st.byMode[mode], d)
+					latencyMu.Unlock()
+				}); err != nil {
+				errCh <- fmt.Errorf("session %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st.wall = time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+
+	// Scrape the absorption-mode counters from the server itself.
+	var health struct {
+		Batches map[string]uint64 `json:"batches"`
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return nil, err
+	}
+	resp.Body.Close()
+	st.modes = health.Batches
+
+	st.batches, st.updates = totalBatches.Load(), totalUpdates.Load()
+	st.watchEvents = watchEvents.Load()
+	sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+	for _, ds := range st.byMode {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	}
+
+	if afterLoad != nil {
+		if err := afterLoad(ts.URL); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// serverLoad is the planarcertd load generator: it runs the in-process
+// load harness and records a throughput snapshot with per-mode latency
+// percentiles (committed as BENCH_server.json and guarded by
+// TestBenchSnapshotsWellFormed).
 func serverLoad(args []string) error {
 	fs := flag.NewFlagSet("serverload", flag.ExitOnError)
 	sessions := fs.Int("sessions", 64, "concurrent sessions to drive")
@@ -38,83 +147,29 @@ func serverLoad(args []string) error {
 		return err
 	}
 
-	srv := server.New(server.Config{
-		MaxSessions: *sessions + 8,
-		BudgetSlots: *budget,
-	})
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
-	defer srv.Close()
-
-	var (
-		totalBatches atomic.Int64
-		totalUpdates atomic.Int64
-		watchEvents  atomic.Int64
-		latencyMu    sync.Mutex
-		latencies    []time.Duration
-	)
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	errCh := make(chan error, *sessions)
-	for i := 0; i < *sessions; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if err := driveSession(ts.URL, fmt.Sprintf("load%03d", i), *nodes, *batches, *ops,
-				rand.New(rand.NewSource(*seed+int64(i))),
-				&totalBatches, &totalUpdates, &watchEvents,
-				func(d time.Duration) {
-					latencyMu.Lock()
-					latencies = append(latencies, d)
-					latencyMu.Unlock()
-				}); err != nil {
-				errCh <- fmt.Errorf("session %d: %w", i, err)
-			}
-		}(i)
-	}
-	wg.Wait()
-	wall := time.Since(start)
-	close(errCh)
-	for err := range errCh {
-		return err
-	}
-
-	// Scrape the absorption-mode counters from the server itself.
-	var health struct {
-		Batches map[string]uint64 `json:"batches"`
-	}
-	resp, err := http.Get(ts.URL + "/healthz")
+	st, err := runLoad(loadOptions{
+		sessions: *sessions, batches: *batches, ops: *ops, nodes: *nodes, seed: *seed,
+		server: server.Config{BudgetSlots: *budget},
+	}, nil)
 	if err != nil {
 		return err
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
-		return err
-	}
-	resp.Body.Close()
 
-	b, u := totalBatches.Load(), totalUpdates.Load()
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
-		}
-		return latencies[int(p*float64(len(latencies)-1))]
-	}
-
+	b, u := st.batches, st.updates
 	fmt.Printf("== serverload: %d sessions x %d batches x %d ops (n=%d) ==\n", *sessions, *batches, *ops, *nodes)
-	fmt.Printf("wall:        %.2fs\n", wall.Seconds())
-	fmt.Printf("batches:     %d (%.0f/s)\n", b, float64(b)/wall.Seconds())
-	fmt.Printf("updates:     %d (%.0f/s)\n", u, float64(u)/wall.Seconds())
-	fmt.Printf("watch:       %d reports delivered\n", watchEvents.Load())
-	fmt.Printf("latency:     p50=%s p95=%s p99=%s\n", pct(0.50), pct(0.95), pct(0.99))
-	modes := make([]string, 0, len(health.Batches))
-	for m := range health.Batches {
+	fmt.Printf("wall:        %.2fs\n", st.wall.Seconds())
+	fmt.Printf("batches:     %d (%.0f/s)\n", b, float64(b)/st.wall.Seconds())
+	fmt.Printf("updates:     %d (%.0f/s)\n", u, float64(u)/st.wall.Seconds())
+	fmt.Printf("watch:       %d reports delivered\n", st.watchEvents)
+	fmt.Printf("latency:     p50=%s p95=%s p99=%s\n", st.pct(0.50), st.pct(0.95), st.pct(0.99))
+	modes := make([]string, 0, len(st.byMode))
+	for m := range st.byMode {
 		modes = append(modes, m)
 	}
 	sort.Strings(modes)
 	for _, m := range modes {
-		fmt.Printf("mode %-12s %d\n", m+":", health.Batches[m])
+		ds := st.byMode[m]
+		fmt.Printf("mode %-12s %6d batches  p50=%-12s p95=%s\n", m+":", len(ds), pctDur(ds, 0.50), pctDur(ds, 0.95))
 	}
 
 	if *out == "" {
@@ -124,36 +179,53 @@ func serverLoad(args []string) error {
 		Name    string `json:"name"`
 		NsPerOp int64  `json:"ns_per_op"`
 	}
+	type modeLatency struct {
+		Batches int   `json:"batches"`
+		P50Ns   int64 `json:"p50_ns"`
+		P95Ns   int64 `json:"p95_ns"`
+	}
+	bench := []benchEntry{
+		{Name: fmt.Sprintf("ServerLoad/sessions=%d/batch", *sessions), NsPerOp: st.wall.Nanoseconds() / max(b, 1)},
+		{Name: fmt.Sprintf("ServerLoad/sessions=%d/update", *sessions), NsPerOp: st.wall.Nanoseconds() / max(u, 1)},
+		{Name: fmt.Sprintf("ServerLoad/sessions=%d/batch_p95", *sessions), NsPerOp: st.pct(0.95).Nanoseconds()},
+	}
+	modeLat := make(map[string]modeLatency, len(st.byMode))
+	for _, m := range modes {
+		ds := st.byMode[m]
+		modeLat[m] = modeLatency{Batches: len(ds), P50Ns: pctDur(ds, 0.50).Nanoseconds(), P95Ns: pctDur(ds, 0.95).Nanoseconds()}
+		bench = append(bench,
+			benchEntry{Name: fmt.Sprintf("ServerLoad/mode=%s/p50", m), NsPerOp: pctDur(ds, 0.50).Nanoseconds()},
+			benchEntry{Name: fmt.Sprintf("ServerLoad/mode=%s/p95", m), NsPerOp: pctDur(ds, 0.95).Nanoseconds()},
+		)
+	}
 	snap := struct {
-		Note       string            `json:"note"`
-		Date       string            `json:"date"`
-		Sessions   int               `json:"sessions"`
-		Batches    int64             `json:"batches"`
-		Updates    int64             `json:"updates"`
-		WallSecs   float64           `json:"wall_seconds"`
-		BatchesPS  float64           `json:"batches_per_second"`
-		UpdatesPS  float64           `json:"updates_per_second"`
-		WatchSeen  int64             `json:"watch_events"`
-		Modes      map[string]uint64 `json:"modes"`
-		Benchmarks []benchEntry      `json:"benchmarks"`
+		Note        string                 `json:"note"`
+		Date        string                 `json:"date"`
+		Sessions    int                    `json:"sessions"`
+		Batches     int64                  `json:"batches"`
+		Updates     int64                  `json:"updates"`
+		WallSecs    float64                `json:"wall_seconds"`
+		BatchesPS   float64                `json:"batches_per_second"`
+		UpdatesPS   float64                `json:"updates_per_second"`
+		WatchSeen   int64                  `json:"watch_events"`
+		Modes       map[string]uint64      `json:"modes"`
+		ModeLatency map[string]modeLatency `json:"mode_latency"`
+		Benchmarks  []benchEntry           `json:"benchmarks"`
 	}{
 		Note: fmt.Sprintf("planarcertd load generator: %d concurrent sessions, %d batches each of %d updates, "+
 			"initial n=%d per session, shared worker budget, in-process HTTP; regenerate with "+
 			"`go run ./cmd/experiments serverload`", *sessions, *batches, *ops, *nodes),
-		Date:      time.Now().Format("2006-01-02"),
-		Sessions:  *sessions,
-		Batches:   b,
-		Updates:   u,
-		WallSecs:  wall.Seconds(),
-		BatchesPS: float64(b) / wall.Seconds(),
-		UpdatesPS: float64(u) / wall.Seconds(),
-		WatchSeen: watchEvents.Load(),
-		Modes:     health.Batches,
-		Benchmarks: []benchEntry{
-			{Name: fmt.Sprintf("ServerLoad/sessions=%d/batch", *sessions), NsPerOp: wall.Nanoseconds() / max(b, 1)},
-			{Name: fmt.Sprintf("ServerLoad/sessions=%d/update", *sessions), NsPerOp: wall.Nanoseconds() / max(u, 1)},
-			{Name: fmt.Sprintf("ServerLoad/sessions=%d/batch_p95", *sessions), NsPerOp: pct(0.95).Nanoseconds()},
-		},
+		Date:        time.Now().Format("2006-01-02"),
+		Sessions:    *sessions,
+		Batches:     b,
+		Updates:     u,
+		WallSecs:    st.wall.Seconds(),
+		BatchesPS:   float64(b) / st.wall.Seconds(),
+		UpdatesPS:   float64(u) / st.wall.Seconds(),
+		WatchSeen:   st.watchEvents,
+		Modes:       st.modes,
+		ModeLatency: modeLat,
+		Benchmarks:  bench,
 	}
 	raw, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -170,9 +242,10 @@ func serverLoad(args []string) error {
 // driveSession runs one client: create a path network with some chords,
 // attach a watcher, stream random chord add/remove batches (tracking a
 // local mirror so every batch is structurally valid), then delete the
-// session and join the watcher.
+// session and join the watcher. observe receives every batch's
+// absorption mode (from the server's report) and round-trip latency.
 func driveSession(base, name string, n, batches, ops int, rng *rand.Rand,
-	totalBatches, totalUpdates, watchEvents *atomic.Int64, observe func(time.Duration)) error {
+	totalBatches, totalUpdates, watchEvents *atomic.Int64, observe func(mode string, d time.Duration)) error {
 
 	var spec bytes.Buffer
 	for i := 0; i < n-1; i++ {
@@ -257,11 +330,20 @@ func driveSession(base, name string, n, batches, ops int, rng *rand.Rand,
 			return err
 		}
 		raw, _ := io.ReadAll(resp.Body)
+		elapsed := time.Since(t0)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("batch %d: status %d: %s", bi, resp.StatusCode, raw)
 		}
-		observe(time.Since(t0))
+		var ack struct {
+			Report struct {
+				Mode string `json:"mode"`
+			} `json:"report"`
+		}
+		if err := json.Unmarshal(raw, &ack); err != nil {
+			return fmt.Errorf("batch %d: decode ack: %w", bi, err)
+		}
+		observe(ack.Report.Mode, elapsed)
 		totalBatches.Add(1)
 		totalUpdates.Add(int64(count))
 	}

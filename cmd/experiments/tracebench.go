@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/planarcert/planarcert/internal/obs"
+	"github.com/planarcert/planarcert/internal/server"
+)
+
+// wireSpan mirrors the /debug/traces span shape, so the experiment
+// consumes the same JSON surface operators see (rather than reaching
+// into the tracer in-process).
+type wireSpan struct {
+	Name          string                 `json:"name"`
+	DurationNanos int64                  `json:"duration_nanos"`
+	Attrs         map[string]interface{} `json:"attrs"`
+	Children      []*wireSpan            `json:"children"`
+}
+
+type wireTrace struct {
+	Session string    `json:"session"`
+	Slow    bool      `json:"slow"`
+	Root    *wireSpan `json:"root"`
+}
+
+type wireTracesPage struct {
+	Enabled bool         `json:"enabled"`
+	Traces  []*wireTrace `json:"traces"`
+}
+
+// wirePhases decomposes a batch trace into the same service phases as
+// obs.Phases, computed from the wire form: sweep time counts as verify
+// minus the budget-wait nested inside it, and the root residue no
+// phase claims is "other".
+func wirePhases(root *wireSpan) map[string]int64 {
+	out := map[string]int64{
+		obs.PhaseQueueWait:  0,
+		obs.PhaseBudgetWait: 0,
+		obs.PhaseProve:      0,
+		obs.PhaseVerify:     0,
+		obs.PhasePersist:    0,
+	}
+	var walk func(s *wireSpan)
+	walk = func(s *wireSpan) {
+		for _, c := range s.Children {
+			switch c.Name {
+			case obs.SpanQueueWait:
+				out[obs.PhaseQueueWait] += c.DurationNanos
+			case obs.SpanProve:
+				out[obs.PhaseProve] += c.DurationNanos
+			case obs.SpanPersist:
+				out[obs.PhasePersist] += c.DurationNanos
+			case obs.SpanSweep:
+				var bw int64
+				for _, g := range c.Children {
+					if g.Name == obs.SpanBudgetWait {
+						bw += g.DurationNanos
+					}
+				}
+				out[obs.PhaseBudgetWait] += bw
+				out[obs.PhaseVerify] += c.DurationNanos - bw
+			case obs.SpanBudgetWait:
+				out[obs.PhaseBudgetWait] += c.DurationNanos
+			default:
+				walk(c)
+			}
+		}
+	}
+	walk(root)
+	var sum int64
+	for _, d := range out {
+		sum += d
+	}
+	if other := root.DurationNanos - sum; other > 0 {
+		out[obs.PhaseOther] = other
+	} else {
+		out[obs.PhaseOther] = 0
+	}
+	return out
+}
+
+// traceBench measures what the tracing layer costs and what it buys:
+// the same load runs once with tracing off and once with every batch
+// traced, and the retained traces decompose the latency tail into its
+// service phases. The snapshot is committed as BENCH_obs.json and
+// guarded by TestBenchSnapshotsWellFormed (overhead within 5%, a
+// dominant phase explaining at least half of the tail).
+func traceBench(args []string) error {
+	fs := flag.NewFlagSet("tracebench", flag.ExitOnError)
+	sessions := fs.Int("sessions", 32, "concurrent sessions to drive")
+	batches := fs.Int("batches", 16, "update batches per session")
+	ops := fs.Int("ops", 4, "updates per batch")
+	nodes := fs.Int("n", 200, "initial nodes per session network")
+	seed := fs.Int64("seed", 2020, "random seed")
+	out := fs.String("out", "BENCH_obs.json", "snapshot output path (empty = stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	shape := loadOptions{sessions: *sessions, batches: *batches, ops: *ops, nodes: *nodes, seed: *seed}
+
+	// Warm-up (discarded): whichever run goes first pays the process's
+	// one-time costs, which would otherwise masquerade as overhead of —
+	// or a speedup from — tracing.
+	warm := shape
+	warm.sessions, warm.batches = max(1, *sessions/4), max(1, *batches/4)
+	warm.server = server.Config{TraceRing: -1}
+	if _, err := runLoad(warm, nil); err != nil {
+		return fmt.Errorf("warm-up run: %w", err)
+	}
+
+	// Tracing off: the control run.
+	offOpts := shape
+	offOpts.server = server.Config{TraceRing: -1}
+	off, err := runLoad(offOpts, nil)
+	if err != nil {
+		return fmt.Errorf("tracing-off run: %w", err)
+	}
+
+	// Tracing on: every batch traced into a ring large enough that
+	// nothing this run produces is evicted, scraped over the same debug
+	// surface operators use.
+	onOpts := shape
+	onOpts.server = server.Config{TraceRing: 2 * *sessions * *batches, TraceSampleEvery: 1}
+	var page wireTracesPage
+	on, err := runLoad(onOpts, func(base string) error {
+		resp, err := http.Get(base + "/debug/traces")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("/debug/traces: status %d", resp.StatusCode)
+		}
+		return json.NewDecoder(resp.Body).Decode(&page)
+	})
+	if err != nil {
+		return fmt.Errorf("tracing-on run: %w", err)
+	}
+	if !page.Enabled || len(page.Traces) == 0 {
+		return fmt.Errorf("tracing-on run retained no traces (enabled=%v)", page.Enabled)
+	}
+
+	offNs := off.wall.Nanoseconds() / max(off.batches, 1)
+	onNs := on.wall.Nanoseconds() / max(on.batches, 1)
+	overheadPct := 100 * (float64(onNs) - float64(offNs)) / float64(offNs)
+
+	// The latency tail: the slowest 5% of retained traces. Summing the
+	// phase decomposition over the whole tail (instead of one arbitrary
+	// trace) makes the dominant-phase attribution stable across runs.
+	traces := page.Traces
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Root.DurationNanos > traces[j].Root.DurationNanos })
+	tailN := len(traces) / 20
+	if tailN < 1 {
+		tailN = 1
+	}
+	tail := traces[:tailN]
+	tailPhases := map[string]int64{}
+	var tailTotal int64
+	for _, tr := range tail {
+		for ph, ns := range wirePhases(tr.Root) {
+			tailPhases[ph] += ns
+		}
+		tailTotal += tr.Root.DurationNanos
+	}
+	dominant, dominantNs := "", int64(-1)
+	for ph, ns := range tailPhases {
+		if ns > dominantNs {
+			dominant, dominantNs = ph, ns
+		}
+	}
+	dominantFrac := float64(dominantNs) / float64(max(tailTotal, 1))
+
+	fmt.Printf("== tracebench: %d sessions x %d batches x %d ops (n=%d) ==\n", *sessions, *batches, *ops, *nodes)
+	fmt.Printf("tracing off: %.2fs wall, %d batches, %s/batch, p95=%s\n", off.wall.Seconds(), off.batches, time.Duration(offNs), off.pct(0.95))
+	fmt.Printf("tracing on:  %.2fs wall, %d batches, %s/batch, p95=%s\n", on.wall.Seconds(), on.batches, time.Duration(onNs), on.pct(0.95))
+	fmt.Printf("overhead:    %+.2f%%\n", overheadPct)
+	fmt.Printf("traces:      %d retained, tail = slowest %d\n", len(traces), len(tail))
+	phases := make([]string, 0, len(tailPhases))
+	for ph := range tailPhases {
+		phases = append(phases, ph)
+	}
+	sort.Slice(phases, func(i, j int) bool { return tailPhases[phases[i]] > tailPhases[phases[j]] })
+	for _, ph := range phases {
+		fmt.Printf("tail %-12s %6.1f%%  (%s)\n", ph+":", 100*float64(tailPhases[ph])/float64(max(tailTotal, 1)), time.Duration(tailPhases[ph]))
+	}
+	fmt.Printf("dominant:    %s (%.0f%% of tail)\n", dominant, 100*dominantFrac)
+
+	if *out == "" {
+		return nil
+	}
+	type benchEntry struct {
+		Name    string `json:"name"`
+		NsPerOp int64  `json:"ns_per_op"`
+	}
+	snap := struct {
+		Note        string  `json:"note"`
+		Date        string  `json:"date"`
+		Sessions    int     `json:"sessions"`
+		OverheadPct float64 `json:"overhead_pct"`
+		Traces      int     `json:"traces_retained"`
+		P95         struct {
+			DominantPhase    string           `json:"dominant_phase"`
+			DominantFraction float64          `json:"dominant_fraction"`
+			Nanos            map[string]int64 `json:"nanos"`
+		} `json:"p95_decomposition"`
+		Benchmarks []benchEntry `json:"benchmarks"`
+	}{
+		Note: fmt.Sprintf("tracing overhead and latency-tail attribution: %d concurrent sessions, %d batches each "+
+			"of %d updates, initial n=%d, run twice (tracing off/on, every batch traced); the tail decomposition "+
+			"sums obs phases over the slowest 5%% of traces scraped from /debug/traces; regenerate with "+
+			"`go run ./cmd/experiments tracebench`", *sessions, *batches, *ops, *nodes),
+		Date:        time.Now().Format("2006-01-02"),
+		Sessions:    *sessions,
+		OverheadPct: overheadPct,
+		Traces:      len(traces),
+		Benchmarks: []benchEntry{
+			{Name: "TraceBench/tracing=off/batch", NsPerOp: offNs},
+			{Name: "TraceBench/tracing=on/batch", NsPerOp: onNs},
+			{Name: "TraceBench/tracing=on/batch_p95", NsPerOp: on.pct(0.95).Nanoseconds()},
+		},
+	}
+	snap.P95.DominantPhase = dominant
+	snap.P95.DominantFraction = dominantFrac
+	snap.P95.Nanos = tailPhases
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot:    %s\n", *out)
+	return nil
+}

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/buildinfo"
 	"github.com/planarcert/planarcert/internal/gen"
 	"github.com/planarcert/planarcert/internal/graph"
 )
@@ -51,6 +52,8 @@ func main() {
 		for _, s := range planarcert.Schemes() {
 			fmt.Println(s)
 		}
+	case "version", "-version", "--version":
+		buildinfo.Print(os.Stdout, "planarcert")
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -73,6 +76,7 @@ commands:
   certify    -scheme NAME [-adversary] [-workers N] [-shard N] [-seq] : prove + verify
   watch      -scheme NAME [-init FILE] [-threshold N] [-cache N] [-noflip] : certify an update stream
   schemes    list available proof-labeling schemes
+  version    print build identity (module version, VCS revision)
 
 engine flags (certify, watch):
   -workers N  bound the verification worker pool (0 = GOMAXPROCS)

@@ -32,6 +32,14 @@
 // until that replay completes; on SIGTERM/SIGINT the daemon stops
 // accepting batches, drains in-flight applies, flushes the WAL, and
 // writes final snapshots before exiting.
+//
+// Observability: every batch is traced (round-level spans with
+// queue-wait, budget-wait, prove, sweep, and persist phases) into a
+// ring served on /debug/traces and /debug/traces/{session}; tune with
+// -trace-ring, -trace-sample, and -trace-slow. -debug-addr exposes
+// net/http/pprof on a SEPARATE listener (keep it on loopback; profiles
+// reveal heap contents). -version prints the build identity that
+// /metrics reports as planarcertd_build_info.
 package main
 
 import (
@@ -40,12 +48,14 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/buildinfo"
 	"github.com/planarcert/planarcert/internal/server"
 	"github.com/planarcert/planarcert/internal/wal"
 )
@@ -61,7 +71,18 @@ func main() {
 	dataDir := flag.String("data-dir", "", "data directory for WALs and snapshots (empty = no persistence)")
 	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy: always (acked batches survive power loss) or never (survive crashes only)")
 	snapshotEvery := flag.Int("snapshot-every", 32, "logged batches between automatic per-session snapshots")
+	budgetPatience := flag.Duration("budget-patience", 0, "how long a verification sweep waits for one extra budget slot (0 = never wait)")
+	traceRing := flag.Int("trace-ring", 256, "retained traces on /debug/traces (negative = tracing off)")
+	traceSample := flag.Int("trace-sample", 1, "keep every Nth trace (slow traces are always kept)")
+	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "batch duration above which a trace is always retained")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = pprof off)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Print(os.Stdout, "planarcertd")
+		return
+	}
 
 	policy, err := wal.ParseSyncPolicy(*fsyncFlag)
 	if err != nil {
@@ -69,18 +90,42 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		MaxSessions:   *maxSessions,
-		BudgetSlots:   *budget,
-		WatchBuffer:   *watchBuffer,
-		DataDir:       *dataDir,
-		Fsync:         policy,
-		SnapshotEvery: *snapshotEvery,
+		MaxSessions:      *maxSessions,
+		BudgetSlots:      *budget,
+		WatchBuffer:      *watchBuffer,
+		DataDir:          *dataDir,
+		Fsync:            policy,
+		SnapshotEvery:    *snapshotEvery,
+		TraceRing:        *traceRing,
+		TraceSampleEvery: *traceSample,
+		TraceSlow:        *traceSlow,
 		Engine: planarcert.EngineConfig{
-			Sequential: *seq,
-			Workers:    *workers,
-			ShardSize:  *shard,
+			Sequential:     *seq,
+			Workers:        *workers,
+			ShardSize:      *shard,
+			BudgetPatience: *budgetPatience,
 		},
 	})
+
+	// The profiling surface binds its own (typically loopback) address:
+	// pprof exposes heap contents and must never ride on the service
+	// port. Registering explicitly on a fresh mux — rather than blank-
+	// importing pprof — keeps DefaultServeMux out of the picture.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			dsrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+			log.Printf("planarcertd pprof listening on %s", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("planarcertd: pprof: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{
 		Addr:    *addr,

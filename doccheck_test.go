@@ -16,10 +16,12 @@ import (
 // gate.
 var docCheckedDirs = []string{
 	".",
+	"internal/buildinfo",
 	"internal/core",
 	"internal/dist",
 	"internal/dynamic",
 	"internal/graph",
+	"internal/obs",
 	"internal/server",
 	"internal/wal",
 }

@@ -1,0 +1,39 @@
+// Package buildinfo resolves the binary's build identity (module
+// version and VCS revision) from the build metadata the Go toolchain
+// embeds in every binary. It backs the -version flag of the planarcert
+// and planarcertd commands and the planarcertd_build_info metric, so
+// all three report the same identity.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+)
+
+// Identity reports the module version and VCS revision embedded by the
+// Go toolchain, or "unknown" for either when built outside a module or
+// without VCS stamping (e.g. in tests or `go run`).
+func Identity() (version, revision string) {
+	version, revision = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, revision
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return version, revision
+}
+
+// Print writes the one-line "name version (revision)" form the
+// daemons' -version flags emit.
+func Print(w io.Writer, name string) {
+	version, revision := Identity()
+	fmt.Fprintf(w, "%s %s (%s)\n", name, version, revision)
+}

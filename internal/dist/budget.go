@@ -1,5 +1,7 @@
 package dist
 
+import "time"
+
 // Budget is a shared, bounded pool of verification-worker slots. Many
 // engines — one per live server session, for example — can draw their
 // parallel fan-out from one Budget so that the process-wide number of
@@ -47,8 +49,30 @@ func (b *Budget) tryAcquire() bool {
 	}
 }
 
-// release returns a slot taken by tryAcquire.
+// release returns a slot taken by tryAcquire or acquireWait.
 func (b *Budget) release() { <-b.sem }
+
+// acquireWait blocks up to d for a slot, abandoning the wait early if
+// stop closes first (the sweep it would join has no shards left, so a
+// late worker would have nothing to do). It reports whether a slot was
+// acquired; on false the caller holds nothing.
+func (b *Budget) acquireWait(d time.Duration, stop <-chan struct{}) bool {
+	select {
+	case b.sem <- struct{}{}:
+		return true
+	default:
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case b.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-stop:
+		return false
+	}
+}
 
 // Limit makes the engine draw its extra parallel workers from the
 // shared budget: worker 0 of each RunPLS always runs, workers 1..k-1
@@ -57,3 +81,20 @@ func (b *Budget) release() { <-b.sem }
 // sequential execution under load instead of oversubscribing the
 // machine.
 func Limit(b *Budget) Option { return func(e *Engine) { e.budget = b } }
+
+// BudgetPatience lets a sweep wait up to d for one extra slot when the
+// shared budget is exhausted at spawn time, instead of giving the slot
+// up immediately. The wait runs on a side goroutine — worker 0 makes
+// progress throughout, so the sweep is never delayed by more than its
+// own remaining work — and is abandoned as soon as the sweep runs out
+// of shards. The time actually spent waiting is what the budget-wait
+// tracing span (see WithSpan) and the planarcertd budget-wait histogram
+// measure. The default of 0 preserves the historical never-wait
+// semantics; d <= 0 is ignored.
+func BudgetPatience(d time.Duration) Option {
+	return func(e *Engine) {
+		if d > 0 {
+			e.patience = d
+		}
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/planarcert/planarcert/internal/bits"
 	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/obs"
 )
 
 // mode selects how RunPLS schedules the per-node verifications.
@@ -62,6 +64,8 @@ type Engine struct {
 	shardSize int
 	failFast  bool
 	budget    *Budget
+	patience  time.Duration
+	span      *obs.Span
 }
 
 // Option configures an Engine at construction.
@@ -111,6 +115,15 @@ func FailFast() Option { return func(e *Engine) { e.failFast = true } }
 // identical.
 func Exhaustive() Option { return func(e *Engine) { e.failFast = false } }
 
+// WithSpan attaches a parent tracing span to the engine: RunPLS and
+// RunPLSSubset record a sweep child span (node/frontier count,
+// certificate bits, messages, rejections) with a nested budget-wait
+// child accounting slot acquisition, and Round/Broadcast record
+// per-call spans with round index, message count, and bit cost. A nil
+// span — the default — records nothing and costs nothing beyond a
+// pointer test (obs spans are nil-safe).
+func WithSpan(sp *obs.Span) Option { return func(e *Engine) { e.span = sp } }
+
 // NewEngine builds an engine over g. The default configuration is
 // automatic mode selection, GOMAXPROCS workers, exhaustive reporting.
 func NewEngine(g *graph.Graph, opts ...Option) *Engine {
@@ -154,6 +167,9 @@ func (e *Engine) RunPLS(certs map[graph.ID]bits.Certificate, verify func(View) e
 	lay := e.layoutFor()
 	n := lay.n
 	out := &Outcome{N: n}
+	sweep := e.span.Child(obs.SpanSweep)
+	sweep.SetStr("mode", "full")
+	sweep.SetInt("nodes", int64(n))
 
 	// Single pass: resolve certificates by node index, account sizes and
 	// messages (each node ships its certificate to every neighbor).
@@ -178,7 +194,7 @@ func (e *Engine) RunPLS(certs map[graph.ID]bits.Certificate, verify func(View) e
 	}
 
 	if e.parallel(n) {
-		e.verifyParallel(lay, verify)
+		e.verifyParallel(lay, verify, sweep)
 	} else {
 		e.verifySequential(lay, verify)
 	}
@@ -194,6 +210,11 @@ func (e *Engine) RunPLS(certs map[graph.ID]bits.Certificate, verify func(View) e
 			out.Reasons[id] = err.Error()
 		}
 	}
+	sweep.SetInt("cert_bits", int64(out.TotalCertBits))
+	sweep.SetInt("max_cert_bit", int64(out.MaxCertBit))
+	sweep.SetInt("messages", int64(out.Messages))
+	sweep.SetInt("rejecting", int64(len(out.Rejecting)))
+	sweep.End()
 	return out
 }
 
@@ -208,9 +229,37 @@ func (e *Engine) verifySequential(lay *layout, verify func(View) error) {
 	}
 }
 
-func (e *Engine) verifyParallel(lay *layout, verify func(View) error) {
+func (e *Engine) verifyParallel(lay *layout, verify func(View) error, sweep *obs.Span) {
 	shard := e.shardSize
 	nshards := (lay.n + shard - 1) / shard
+	e.fanOut(nshards, sweep, func(s int) bool {
+		lo := s * shard
+		hi := lo + shard
+		if hi > lay.n {
+			hi = lay.n
+		}
+		for u := lo; u < hi; u++ {
+			if err := verifyNode(lay, u, verify); err != nil {
+				lay.errs[u] = err
+				if e.failFast {
+					return true
+				}
+			}
+		}
+		return false
+	})
+}
+
+// fanOut drains nshards shards across worker 0 plus up to workers-1
+// extra workers; verifyShard handles one shard and reports whether the
+// sweep should stop early (fail-fast). Worker 0 always runs, so an
+// exhausted budget degrades the sweep to sequential execution instead
+// of stalling it; every extra worker needs a free budget slot at spawn
+// time (see Limit). The acquisition outcome is recorded on sweep's
+// budget-wait child span as wanted/granted/denied slot counts; with
+// BudgetPatience, a single late joiner waits (bounded, on the side) for
+// the next released slot and the span's duration measures that wait.
+func (e *Engine) fanOut(nshards int, sweep *obs.Span, verifyShard func(s int) bool) {
 	workers := e.workers
 	if workers > nshards {
 		workers = nshards
@@ -218,47 +267,83 @@ func (e *Engine) verifyParallel(lay *layout, verify func(View) error) {
 	var next atomic.Int64
 	var stop atomic.Bool
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		// Worker 0 always runs so the verification makes progress even
-		// when a shared budget is exhausted; every further worker needs a
-		// free budget slot at spawn time (see Limit).
-		budgeted := false
-		if w > 0 && e.budget != nil {
-			if !e.budget.tryAcquire() {
-				break
+	// done closes once the sweep has no shards left to hand out —
+	// worker 0 runs unconditionally, so some worker always reaches
+	// exhaustion (or the fail-fast stop) and a patient late joiner is
+	// never stranded waiting for work that cannot arrive.
+	done := make(chan struct{})
+	var doneOnce sync.Once
+	loop := func() {
+		defer doneOnce.Do(func() { close(done) })
+		for {
+			if e.failFast && stop.Load() {
+				return
 			}
-			budgeted = true
+			s := int(next.Add(1)) - 1
+			if s >= nshards {
+				return
+			}
+			if verifyShard(s) {
+				stop.Store(true)
+				return
+			}
 		}
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		loop()
+	}()
+
+	bw := sweep.Child(obs.SpanBudgetWait)
+	wanted := workers - 1
+	if wanted < 0 {
+		wanted = 0
+	}
+	granted := 0
+	patient := false
+	for w := 1; w < workers; w++ {
+		if e.budget != nil && !e.budget.tryAcquire() {
+			if e.patience > 0 {
+				patient = true
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ok := e.budget.acquireWait(e.patience, done)
+					late := 0
+					if ok {
+						late = 1
+					}
+					bw.SetInt("wanted", int64(wanted))
+					bw.SetInt("granted", int64(granted+late))
+					bw.SetInt("denied", int64(wanted-granted-late))
+					bw.End()
+					if !ok {
+						return
+					}
+					defer e.budget.release()
+					loop()
+				}()
+			}
+			break
+		}
+		budgeted := e.budget != nil
+		granted++
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			if budgeted {
 				defer e.budget.release()
 			}
-			for {
-				if e.failFast && stop.Load() {
-					return
-				}
-				s := int(next.Add(1)) - 1
-				if s >= nshards {
-					return
-				}
-				lo := s * shard
-				hi := lo + shard
-				if hi > lay.n {
-					hi = lay.n
-				}
-				for u := lo; u < hi; u++ {
-					if err := verifyNode(lay, u, verify); err != nil {
-						lay.errs[u] = err
-						if e.failFast {
-							stop.Store(true)
-							return
-						}
-					}
-				}
-			}
+			loop()
 		}()
+	}
+	if !patient {
+		bw.SetInt("wanted", int64(wanted))
+		bw.SetInt("granted", int64(granted))
+		bw.SetInt("denied", int64(wanted-granted))
+		bw.End()
 	}
 	wg.Wait()
 }

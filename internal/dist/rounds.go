@@ -7,6 +7,7 @@ import (
 
 	"github.com/planarcert/planarcert/internal/bits"
 	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/obs"
 )
 
 // Message is one delivery of a synchronous round: the sender (by index
@@ -23,6 +24,8 @@ type Message struct {
 // links). It returns every node's inbox, with deliveries ordered by
 // sender index, and updates the engine's cost counters.
 func (e *Engine) Round(send func(u int) map[int]bits.Certificate) ([][]Message, error) {
+	sp := e.span.Child(obs.SpanRound)
+	sp.SetInt("index", int64(e.Rounds))
 	n := e.g.N()
 	inbox := make([][]Message, n)
 	// Stage the cost accounting and commit it only if the whole round is
@@ -42,7 +45,10 @@ func (e *Engine) Round(send func(u int) map[int]bits.Certificate) ([][]Message, 
 		sort.Ints(targets)
 		for _, v := range targets {
 			if v < 0 || v >= n || !e.g.HasEdge(u, v) {
-				return nil, fmt.Errorf("dist: node %d sent to non-neighbor %d", u, v)
+				err := fmt.Errorf("dist: node %d sent to non-neighbor %d", u, v)
+				sp.SetStr("error", err.Error())
+				sp.End()
+				return nil, err
 			}
 			c := out[v]
 			inbox[v] = append(inbox[v], Message{From: u, FromID: e.g.IDOf(u), Cert: c})
@@ -59,6 +65,10 @@ func (e *Engine) Round(send func(u int) map[int]bits.Certificate) ([][]Message, 
 	if maxBit > e.MaxMsgBit {
 		e.MaxMsgBit = maxBit
 	}
+	sp.SetInt("messages", int64(msgs))
+	sp.SetInt("bits", int64(sentBits))
+	sp.SetInt("max_bit", int64(maxBit))
+	sp.End()
 	return inbox, nil
 }
 
@@ -72,18 +82,26 @@ func (e *Engine) Round(send func(u int) map[int]bits.Certificate) ([][]Message, 
 // empty network, an unknown source, or a network the flood cannot cover
 // (disconnected from the sources).
 func (e *Engine) Broadcast(sources []int) (int, error) {
+	sp := e.span.Child(obs.SpanBroadcast)
+	sp.SetInt("sources", int64(len(sources)))
+	fail := func(err error) (int, error) {
+		sp.SetStr("error", err.Error())
+		sp.End()
+		return 0, err
+	}
 	n := e.g.N()
 	if n == 0 {
-		return 0, errors.New("dist: broadcast on an empty network")
+		return fail(errors.New("dist: broadcast on an empty network"))
 	}
 	if len(sources) == 0 {
-		return 0, errors.New("dist: broadcast needs at least one source")
+		return fail(errors.New("dist: broadcast needs at least one source"))
 	}
+	startMsgs, startBits := e.Messages, e.TotalBits
 	informed := make([]bool, n)
 	frontier := make([]int, 0, n)
 	for _, s := range sources {
 		if s < 0 || s >= n {
-			return 0, fmt.Errorf("dist: unknown broadcast source index %d", s)
+			return fail(fmt.Errorf("dist: unknown broadcast source index %d", s))
 		}
 		if !informed[s] {
 			informed[s] = true
@@ -112,8 +130,15 @@ func (e *Engine) Broadcast(sources []int) (int, error) {
 		}
 		frontier = next
 	}
+	sp.SetInt("rounds", int64(rounds))
+	sp.SetInt("messages", int64(e.Messages-startMsgs))
+	sp.SetInt("bits", int64(e.TotalBits-startBits))
 	if count < n {
-		return rounds, fmt.Errorf("dist: broadcast reached %d of %d nodes (network disconnected)", count, n)
+		err := fmt.Errorf("dist: broadcast reached %d of %d nodes (network disconnected)", count, n)
+		sp.SetStr("error", err.Error())
+		sp.End()
+		return rounds, err
 	}
+	sp.End()
 	return rounds, nil
 }

@@ -2,11 +2,10 @@ package dist
 
 import (
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"github.com/planarcert/planarcert/internal/bits"
 	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/obs"
 )
 
 // RunPLSSubset executes one verification round restricted to the node
@@ -41,6 +40,10 @@ func (e *Engine) RunPLSSubset(certs map[graph.ID]bits.Certificate, verify func(V
 	}
 	sort.Ints(sub)
 
+	sweep := e.span.Child(obs.SpanSweep)
+	sweep.SetStr("mode", "subset")
+	sweep.SetInt("frontier", int64(len(sub)))
+
 	out := &Outcome{N: len(sub)}
 	for _, u := range sub {
 		c := certs[e.g.IDOf(u)]
@@ -58,7 +61,7 @@ func (e *Engine) RunPLSSubset(certs map[graph.ID]bits.Certificate, verify func(V
 
 	errs := make([]error, len(sub))
 	if e.parallel(len(sub)) {
-		e.subsetParallel(sub, certs, verify, errs)
+		e.subsetParallel(sub, certs, verify, errs, sweep)
 	} else {
 		e.subsetSequential(sub, certs, verify, errs)
 	}
@@ -73,6 +76,11 @@ func (e *Engine) RunPLSSubset(certs map[graph.ID]bits.Certificate, verify func(V
 			out.Reasons[id] = err.Error()
 		}
 	}
+	sweep.SetInt("cert_bits", int64(out.TotalCertBits))
+	sweep.SetInt("max_cert_bit", int64(out.MaxCertBit))
+	sweep.SetInt("messages", int64(out.Messages))
+	sweep.SetInt("rejecting", int64(len(out.Rejecting)))
+	sweep.End()
 	return out
 }
 
@@ -103,58 +111,27 @@ func (e *Engine) subsetSequential(sub []int, certs map[graph.ID]bits.Certificate
 	}
 }
 
-func (e *Engine) subsetParallel(sub []int, certs map[graph.ID]bits.Certificate, verify func(View) error, errs []error) {
+func (e *Engine) subsetParallel(sub []int, certs map[graph.ID]bits.Certificate, verify func(View) error, errs []error, sweep *obs.Span) {
+	// Same budget discipline as verifyParallel (via fanOut): worker 0
+	// always runs, the rest each need a free slot from the shared budget
+	// (see Limit) so frontier sweeps across many sessions stay bounded.
 	shard := e.shardSize
 	nshards := (len(sub) + shard - 1) / shard
-	workers := e.workers
-	if workers > nshards {
-		workers = nshards
-	}
-	var next atomic.Int64
-	var stop atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		// Same budget discipline as verifyParallel: worker 0 always runs,
-		// the rest each need a free slot from the shared budget (see
-		// Limit) so frontier sweeps across many sessions stay bounded.
-		budgeted := false
-		if w > 0 && e.budget != nil {
-			if !e.budget.tryAcquire() {
-				break
-			}
-			budgeted = true
+	e.fanOut(nshards, sweep, func(s int) bool {
+		lo := s * shard
+		hi := lo + shard
+		if hi > len(sub) {
+			hi = len(sub)
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if budgeted {
-				defer e.budget.release()
-			}
-			for {
-				if e.failFast && stop.Load() {
-					return
-				}
-				s := int(next.Add(1)) - 1
-				if s >= nshards {
-					return
-				}
-				lo := s * shard
-				hi := lo + shard
-				if hi > len(sub) {
-					hi = len(sub)
-				}
-				for i := lo; i < hi; i++ {
-					u := sub[i]
-					if err := verifyView(e.g.IDOf(u), e.subsetView(u, certs), verify); err != nil {
-						errs[i] = err
-						if e.failFast {
-							stop.Store(true)
-							return
-						}
-					}
+		for i := lo; i < hi; i++ {
+			u := sub[i]
+			if err := verifyView(e.g.IDOf(u), e.subsetView(u, certs), verify); err != nil {
+				errs[i] = err
+				if e.failFast {
+					return true
 				}
 			}
-		}()
-	}
-	wg.Wait()
+		}
+		return false
+	})
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/planarcert/planarcert/internal/core"
 	"github.com/planarcert/planarcert/internal/dist"
 	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/obs"
 	"github.com/planarcert/planarcert/internal/pls"
 )
 
@@ -138,6 +139,7 @@ type Session struct {
 	cache   *certCache
 	pending []Update
 	last    *Report
+	span    *obs.Span
 }
 
 // NewSession takes ownership of g and certifies it under cfg.Scheme.
@@ -266,6 +268,28 @@ func (s *Session) Certificates() map[graph.ID]bits.Certificate { return s.certs 
 // Queue appends an update to the log without applying it.
 func (s *Session) Queue(u Update) { s.pending = append(s.pending, u) }
 
+// TraceNext installs a tracing span for the next Flush (or the Apply
+// that triggers it): the batch's verification engines attach to it (so
+// sweep, round, and budget-wait children land under it — see
+// dist.WithSpan), the prover records a prove child, a repair records a
+// repair child, and the absorption outcome (mode, updates, dirty,
+// verified, scheme) is stamped as attributes. The span is consumed by
+// exactly one flush and the caller remains responsible for ending it.
+// A nil span — and every flush without a preceding TraceNext — records
+// nothing.
+func (s *Session) TraceNext(sp *obs.Span) { s.span = sp }
+
+// flushOpts returns the engine options for the current batch's sweeps,
+// attaching the batch's tracing span when one was installed.
+func (s *Session) flushOpts() []dist.Option {
+	if s.span == nil {
+		return s.engineOpts
+	}
+	opts := make([]dist.Option, 0, len(s.engineOpts)+1)
+	opts = append(opts, s.engineOpts...)
+	return append(opts, dist.WithSpan(s.span))
+}
+
 // Apply queues the updates and flushes the whole log as one batch.
 func (s *Session) Apply(batch []Update) (*Report, error) {
 	s.pending = append(s.pending, batch...)
@@ -276,6 +300,8 @@ func (s *Session) Apply(batch []Update) (*Report, error) {
 // (unknown endpoint, duplicate edge or node, self-loop) rejects and
 // discards the whole log without touching the graph.
 func (s *Session) Flush() (*Report, error) {
+	sp := s.span
+	defer func() { s.span = nil }()
 	batch := s.pending
 	s.pending = nil
 	rep := &Report{Updates: len(batch), Scheme: s.active.Name(), Generation: s.gen}
@@ -283,10 +309,12 @@ func (s *Session) Flush() (*Report, error) {
 		rep.Mode = ModeNoop
 		rep.Accepted = s.certified
 		s.last = rep
+		s.stamp(sp, rep)
 		return rep, nil
 	}
 	nb, err := s.validate(batch)
 	if err != nil {
+		sp.SetStr("error", err.Error())
 		return nil, err
 	}
 	s.applyToGraph(batch)
@@ -298,6 +326,7 @@ func (s *Session) Flush() (*Report, error) {
 		rep.Mode = ModeNoop
 		rep.Accepted = s.certified
 		s.last = rep
+		s.stamp(sp, rep)
 		return rep, nil
 	}
 
@@ -307,7 +336,23 @@ func (s *Session) Flush() (*Report, error) {
 		}
 	}
 	s.last = rep
+	s.stamp(sp, rep)
 	return rep, nil
+}
+
+// stamp records a batch's absorption outcome on its tracing span.
+func (s *Session) stamp(sp *obs.Span, rep *Report) {
+	if sp == nil {
+		return
+	}
+	sp.SetStr("mode", string(rep.Mode))
+	sp.SetStr("scheme", rep.Scheme)
+	sp.SetInt("updates", int64(rep.Updates))
+	sp.SetInt("dirty", int64(rep.Dirty))
+	sp.SetInt("verified", int64(rep.Verified))
+	if rep.RepairFallback != "" {
+		sp.SetStr("repair_fallback", rep.RepairFallback)
+	}
 }
 
 // VerifyFull re-runs the active scheme's verifier over the whole
@@ -516,17 +561,22 @@ func (s *Session) tryRepair(nb *netBatch, rep *Report) bool {
 		rep.RepairFallback = "node additions change n in every certificate"
 		return false
 	}
+	rsp := s.span.Child("repair")
 	newCerts, changed, ok, reason := s.state.repair(nb, s.threshold)
+	rsp.SetInt("changed", int64(len(changed)))
 	if !ok {
+		rsp.SetStr("fallback", reason)
+		rsp.End()
 		rep.RepairFallback = reason
 		return false
 	}
+	rsp.End()
 	s.ensureOwnedCerts()
 	for id, c := range newCerts {
 		s.certs[id] = c
 	}
 	frontier := s.frontierOf(changed, s.touchedIdxs(nb))
-	out := dist.NewEngine(s.g, s.engineOpts...).RunPLSSubset(s.certs, s.active.Verify, frontier)
+	out := dist.NewEngine(s.g, s.flushOpts()...).RunPLSSubset(s.certs, s.active.Verify, frontier)
 	rep.Dirty = len(changed)
 	rep.Verified = out.N
 	rep.Outcome = out
@@ -562,7 +612,7 @@ func (s *Session) tryCache(nb *netBatch, rep *Report) bool {
 	s.certified = true
 	// Sanity pass over the update endpoints: cheap, and demotes
 	// fingerprint collisions to a re-prove instead of an accept.
-	out := dist.NewEngine(s.g, s.engineOpts...).RunPLSSubset(s.certs, s.active.Verify, s.touchedIdxs(nb))
+	out := dist.NewEngine(s.g, s.flushOpts()...).RunPLSSubset(s.certs, s.active.Verify, s.touchedIdxs(nb))
 	if !out.AllAccept() {
 		s.cache.evict(s.cacheKey())
 		s.certified = false
@@ -588,8 +638,12 @@ func (s *Session) reprove(rep *Report) {
 	}
 	var firstErr error
 	for i, sch := range order {
+		pv := s.span.Child(obs.SpanProve)
+		pv.SetStr("scheme", sch.Name())
 		certs, st, err := s.proveStructured(sch)
 		if err != nil {
+			pv.SetStr("error", err.Error())
+			pv.End()
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -598,11 +652,13 @@ func (s *Session) reprove(rep *Report) {
 			}
 			break
 		}
+		pv.SetInt("certs", int64(len(certs)))
+		pv.End()
 		s.active = sch
 		s.certs = certs
 		s.certsOwn = true
 		s.state = st
-		out := dist.NewEngine(s.g, s.engineOpts...).RunPLS(certs, sch.Verify)
+		out := dist.NewEngine(s.g, s.flushOpts()...).RunPLS(certs, sch.Verify)
 		rep.Mode = ModeReprove
 		if i > 0 {
 			rep.Mode = ModeFlip

@@ -1,0 +1,34 @@
+// Package obs is the repository's dependency-free tracing subsystem:
+// a span model for decomposing an operation into timed, attributed,
+// nested phases, and a Tracer that retains completed traces in a
+// fixed-size ring buffer behind an always-on sampler.
+//
+// The package exists because the paper's contribution is a cost model
+// — O(log n) certificate bits, one verification round in CONGEST — and
+// a service reproducing it must be able to say where a request's time,
+// rounds and bits actually went. A span carries exactly that: a name,
+// a monotonic-clock start and duration, and a small set of integer or
+// string attributes (mode, frontier size, certificate bits, messages,
+// round index). Spans nest, so one planarcertd batch decomposes into
+// queue-wait → prove → sweep → {budget-wait, round} and the tail of a
+// latency histogram becomes attributable instead of guessable.
+//
+// Design constraints, in order:
+//
+//   - Nil-safety: every method on a nil *Tracer or nil *Span is a
+//     no-op, so instrumented code paths carry no conditionals and a
+//     disabled tracer costs nothing but a pointer test.
+//   - Lock-cheap: a span locks only itself (attribute append, child
+//     append), the ring buffer locks only around a pointer rotation,
+//     and the drop counters are atomics. Nothing on the hot path
+//     serialises against the collector.
+//   - Always-on: the sampler keeps every SampleEvery-th trace for an
+//     unconditioned baseline AND every trace at least SlowThreshold
+//     long, so the interesting tail is never sampled away. Everything
+//     dropped is counted, never silent.
+//
+// The planarcertd server owns a Tracer, exports its drop counters as
+// Prometheus series, and serves the ring as JSON on /debug/traces (see
+// internal/server); the public facade re-exports the types as
+// planarcert.Tracer and planarcert.TraceSpan.
+package obs

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("s", SpanBatch)
+	if sp != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	// Every span method must be a no-op on nil.
+	sp.SetInt("k", 1)
+	sp.SetStr("k", "v")
+	c := sp.Child("child")
+	if c != nil {
+		t.Fatal("nil span must hand out nil children")
+	}
+	sp.End()
+	if d := sp.Duration(); d != 0 {
+		t.Fatalf("nil span duration = %v, want 0", d)
+	}
+	if got := sp.Children(); got != nil {
+		t.Fatal("nil span has children")
+	}
+	if _, ok := sp.IntAttr("k"); ok {
+		t.Fatal("nil span has attrs")
+	}
+	if recs := tr.Records("", 0); recs != nil {
+		t.Fatal("nil tracer has records")
+	}
+	if s, e := tr.Dropped(); s != 0 || e != 0 {
+		t.Fatal("nil tracer dropped counters non-zero")
+	}
+	// Phases on a nil root returns the zeroed phase map.
+	ph := Phases(nil)
+	if ph[PhaseProve] != 0 {
+		t.Fatal("phases of nil root non-zero")
+	}
+}
+
+func TestSpanNestingAndAttrs(t *testing.T) {
+	tr := New(Config{Ring: 4})
+	root := tr.Start("sess-1", SpanBatch)
+	root.SetStr("mode", "repair")
+	root.SetInt("updates", 7)
+	sweep := root.Child(SpanSweep)
+	sweep.SetInt("nodes", 42)
+	round := sweep.Child(SpanRound)
+	round.SetInt("messages", 84)
+	round.End()
+	sweep.End()
+	root.End()
+
+	recs := tr.Records("", 0)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	got := recs[0].Root
+	if got.Name() != SpanBatch {
+		t.Fatalf("root name %q", got.Name())
+	}
+	if v, ok := got.StrAttr("mode"); !ok || v != "repair" {
+		t.Fatalf("mode attr = %q, %v", v, ok)
+	}
+	if v, ok := got.IntAttr("updates"); !ok || v != 7 {
+		t.Fatalf("updates attr = %d, %v", v, ok)
+	}
+	kids := got.Children()
+	if len(kids) != 1 || kids[0].Name() != SpanSweep {
+		t.Fatalf("children = %v", kids)
+	}
+	if gk := kids[0].Children(); len(gk) != 1 || gk[0].Name() != SpanRound {
+		t.Fatalf("grandchildren = %v", gk)
+	}
+	if recs[0].Session != "sess-1" {
+		t.Fatalf("session = %q", recs[0].Session)
+	}
+	if got.Duration() <= 0 {
+		t.Fatal("root duration not positive")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New(Config{Ring: 4})
+	root := tr.Start("s", SpanBatch)
+	root.End()
+	d := root.Duration()
+	time.Sleep(time.Millisecond)
+	root.End() // second End must not re-collect or restamp
+	if root.Duration() != d {
+		t.Fatal("second End restamped the duration")
+	}
+	if got := len(tr.Records("", 0)); got != 1 {
+		t.Fatalf("double-collected: %d records", got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(Config{Ring: 3, SlowThreshold: -1})
+	for i := 0; i < 5; i++ {
+		sp := tr.Start(fmt.Sprintf("s%d", i), SpanBatch)
+		sp.End()
+	}
+	recs := tr.Records("", 0)
+	if len(recs) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(recs))
+	}
+	// Newest first: s4, s3, s2.
+	for i, want := range []string{"s4", "s3", "s2"} {
+		if recs[i].Session != want {
+			t.Fatalf("recs[%d] = %q, want %q", i, recs[i].Session, want)
+		}
+	}
+	if _, evicted := tr.Dropped(); evicted != 2 {
+		t.Fatalf("evicted = %d, want 2", evicted)
+	}
+}
+
+func TestSamplerKeepsSlowTraces(t *testing.T) {
+	// Sample 1-in-1000 but with a 5ms slow threshold: fast traces are
+	// mostly dropped, slow traces always survive.
+	tr := New(Config{Ring: 64, SampleEvery: 1000, SlowThreshold: 5 * time.Millisecond})
+	for i := 0; i < 20; i++ {
+		sp := tr.Start("fast", SpanBatch)
+		sp.End()
+	}
+	slow := tr.Start("slow", SpanBatch)
+	time.Sleep(10 * time.Millisecond)
+	slow.End()
+	recs := tr.Records("slow", 0)
+	if len(recs) != 1 || !recs[0].Slow {
+		t.Fatalf("slow trace not retained: %v", recs)
+	}
+	if sampled, _ := tr.Dropped(); sampled == 0 {
+		t.Fatal("sampler dropped nothing despite 1-in-1000 rate")
+	}
+}
+
+func TestSessionFilterAndLimit(t *testing.T) {
+	tr := New(Config{Ring: 16})
+	for i := 0; i < 4; i++ {
+		tr.Start("a", SpanBatch).End()
+		tr.Start("b", SpanBatch).End()
+	}
+	if got := len(tr.Records("a", 0)); got != 4 {
+		t.Fatalf("session filter: %d, want 4", got)
+	}
+	if got := len(tr.Records("", 3)); got != 3 {
+		t.Fatalf("limit: %d, want 3", got)
+	}
+	if got := len(tr.Records("c", 0)); got != 0 {
+		t.Fatalf("unknown session: %d, want 0", got)
+	}
+}
+
+func TestPhasesDecomposition(t *testing.T) {
+	root := newSpan(SpanBatch)
+	qw := root.Child(SpanQueueWait)
+	qw.dur, qw.ended = 10*time.Millisecond, true
+	pv := root.Child(SpanProve)
+	pv.dur, pv.ended = 30*time.Millisecond, true
+	sw := root.Child(SpanSweep)
+	bw := sw.Child(SpanBudgetWait)
+	bw.dur, bw.ended = 5*time.Millisecond, true
+	rd := sw.Child(SpanRound) // part of the sweep, not double-counted
+	rd.dur, rd.ended = 12*time.Millisecond, true
+	sw.dur, sw.ended = 20*time.Millisecond, true
+	ps := root.Child(SpanPersist)
+	ps.dur, ps.ended = 4*time.Millisecond, true
+	root.dur, root.ended = 70*time.Millisecond, true
+
+	ph := Phases(root)
+	want := map[string]time.Duration{
+		PhaseQueueWait:  10 * time.Millisecond,
+		PhaseProve:      30 * time.Millisecond,
+		PhaseBudgetWait: 5 * time.Millisecond,
+		PhaseVerify:     15 * time.Millisecond, // sweep 20ms minus budget-wait 5ms
+		PhasePersist:    4 * time.Millisecond,
+		PhaseOther:      6 * time.Millisecond, // 70 - 64
+	}
+	for k, w := range want {
+		if ph[k] != w {
+			t.Errorf("phase %s = %v, want %v", k, ph[k], w)
+		}
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	tr := New(Config{Ring: 4})
+	root := tr.Start("s", SpanBatch)
+	root.SetStr("mode", "reprove")
+	root.SetInt("updates", 3)
+	root.Child(SpanSweep).End()
+	root.End()
+	raw, err := json.Marshal(tr.Records("", 0)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		ID      uint64 `json:"id"`
+		Session string `json:"session"`
+		Root    struct {
+			Name          string                 `json:"name"`
+			DurationNanos int64                  `json:"duration_nanos"`
+			Attrs         map[string]interface{} `json:"attrs"`
+			Children      []struct {
+				Name string `json:"name"`
+			} `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if v.Session != "s" || v.Root.Name != SpanBatch || v.Root.DurationNanos <= 0 {
+		t.Fatalf("bad shape: %s", raw)
+	}
+	if v.Root.Attrs["mode"] != "reprove" || v.Root.Attrs["updates"] != float64(3) {
+		t.Fatalf("bad attrs: %v", v.Root.Attrs)
+	}
+	if len(v.Root.Children) != 1 || v.Root.Children[0].Name != SpanSweep {
+		t.Fatalf("bad children: %s", raw)
+	}
+}
+
+// TestConcurrentSpans hammers one tracer from many goroutines (run
+// under -race in CI): concurrent root spans, concurrent child/attr
+// writes on a shared span, concurrent Records reads.
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Config{Ring: 32, SampleEvery: 2, SlowThreshold: -1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Start(fmt.Sprintf("s%d", g), SpanBatch)
+				c := sp.Child(SpanSweep)
+				c.SetInt("nodes", int64(i))
+				c.End()
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			for _, rec := range tr.Records("", 0) {
+				_, _ = json.Marshal(rec)
+			}
+		}
+	}()
+	// Shared span: attrs and children from many goroutines.
+	shared := tr.Start("shared", SpanBatch)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				shared.SetInt(fmt.Sprintf("k%d", g), int64(i))
+				shared.Child(SpanRound).End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	shared.End()
+	if sampled, _ := tr.Dropped(); sampled == 0 {
+		t.Fatal("sampler never dropped at 1-in-2")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"github.com/planarcert/planarcert/internal/buildinfo"
 )
 
 // verifyBuckets are the latency histogram upper bounds, in seconds.
@@ -15,6 +17,21 @@ import (
 // full re-prove of a 100k-node network (~seconds).
 var verifyBuckets = []float64{
 	1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1, 5,
+}
+
+// waitBuckets are the budget-wait histogram bounds, in seconds. Budget
+// acquisition is non-blocking by default (waits of ~microseconds) and
+// bounded by the configured patience otherwise, so the range sits well
+// below verifyBuckets'.
+var waitBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1,
+}
+
+// frontierBuckets are the per-batch verified-frontier size bounds, in
+// nodes: a repair re-verifies a handful of nodes, a full re-prove all of
+// them.
+var frontierBuckets = []float64{
+	1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144,
 }
 
 // histogram is a fixed-bucket latency histogram in the Prometheus
@@ -43,18 +60,84 @@ func (h *histogram) observe(v float64) {
 
 // write emits the histogram in Prometheus text exposition format.
 func (h *histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	h.writeSeries(w, name, "")
+}
+
+// writeSeries emits only the series lines (buckets, _sum, _count), with
+// extraLabels (e.g. `scheme="planarity",mode="repair"`) merged into
+// every label set — the shared body of plain and labeled histograms.
+func (h *histogram) writeSeries(w io.Writer, name, extraLabels string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	sep := ""
+	if extraLabels != "" {
+		sep = ","
+	}
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, extraLabels, sep, strconv.FormatFloat(b, 'g', -1, 64), cum)
 	}
 	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, extraLabels, sep, cum)
+	if extraLabels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, extraLabels, h.sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, extraLabels, h.count)
+	}
+}
+
+// histVec is a histogram family keyed by (scheme, mode) labels — the
+// per-scheme/per-mode batch latency decomposition. Safe for concurrent
+// use; label sets are created on first observation.
+type histVec struct {
+	mu     sync.Mutex
+	bounds []float64
+	hists  map[[2]string]*histogram
+}
+
+func newHistVec(bounds []float64) *histVec {
+	return &histVec{bounds: bounds, hists: make(map[[2]string]*histogram)}
+}
+
+func (v *histVec) observe(scheme, mode string, x float64) {
+	key := [2]string{scheme, mode}
+	v.mu.Lock()
+	h := v.hists[key]
+	if h == nil {
+		h = newHistogram(v.bounds)
+		v.hists[key] = h
+	}
+	v.mu.Unlock()
+	h.observe(x)
+}
+
+// write emits the family under one HELP/TYPE header, label sets in
+// sorted order for a deterministic exposition.
+func (v *histVec) write(w io.Writer, name, help string) {
+	v.mu.Lock()
+	keys := make([][2]string, 0, len(v.hists))
+	for k := range v.hists {
+		keys = append(keys, k)
+	}
+	hists := make([]*histogram, len(keys))
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for i, k := range keys {
+		hists[i] = v.hists[k]
+	}
+	v.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, k := range keys {
+		hists[i].writeSeries(w, name, fmt.Sprintf("scheme=%q,mode=%q", k[0], k[1]))
+	}
 }
 
 // metrics aggregates the daemon's operational counters. All fields are
@@ -83,13 +166,27 @@ type metrics struct {
 
 	batchSeconds  *histogram // end-to-end flush latency (repair/prove + verify)
 	verifySeconds *histogram // explicit full-verification latency
+	budgetWait    *histogram // per-batch budget-slot acquisition wait
+	frontierNodes *histogram // nodes re-verified per batch (frontier size)
+	modeSeconds   *histVec   // batch latency by (scheme, mode)
+
+	// Build identity, resolved once at construction from the binary's
+	// embedded build info; rendered as the planarcertd_build_info gauge.
+	buildVersion  string
+	buildRevision string
 }
 
 func newMetrics() *metrics {
+	version, revision := buildinfo.Identity()
 	return &metrics{
 		modes:         make(map[string]uint64),
 		batchSeconds:  newHistogram(verifyBuckets),
 		verifySeconds: newHistogram(verifyBuckets),
+		budgetWait:    newHistogram(waitBuckets),
+		frontierNodes: newHistogram(frontierBuckets),
+		modeSeconds:   newHistVec(verifyBuckets),
+		buildVersion:  version,
+		buildRevision: revision,
 	}
 }
 
@@ -99,13 +196,17 @@ func (m *metrics) recoverySeconds() float64 {
 	return math.Float64frombits(m.recoverySecsBits.Load())
 }
 
-// batchDone records one successfully flushed batch.
-func (m *metrics) batchDone(mode string, updates int, seconds float64) {
+// batchDone records one successfully flushed batch: total and per-mode
+// counters, the end-to-end latency (overall and by scheme/mode), and
+// the verified-frontier size.
+func (m *metrics) batchDone(mode, scheme string, updates, verified int, seconds float64) {
 	m.updatesTotal.Add(uint64(updates))
 	m.modeMu.Lock()
 	m.modes[mode]++
 	m.modeMu.Unlock()
 	m.batchSeconds.observe(seconds)
+	m.modeSeconds.observe(scheme, mode, seconds)
+	m.frontierNodes.observe(float64(verified))
 }
 
 // modeCounts returns a copy of the per-mode batch counters.
@@ -119,19 +220,32 @@ func (m *metrics) modeCounts() map[string]uint64 {
 	return out
 }
 
-// write renders every metric. activeSessions and budget usage are live
-// gauges owned by the Server, passed in at render time.
-func (m *metrics) write(w io.Writer, activeSessions, watchers, budgetSlots, budgetInUse int) {
+// liveStats are point-in-time values owned by the Server (registry
+// sizes, budget usage, tracer drop counters), sampled at render time.
+type liveStats struct {
+	activeSessions   int
+	watchers         int
+	budgetSlots      int
+	budgetInUse      int
+	traceDropSampled uint64
+	traceDropEvicted uint64
+}
+
+// write renders every metric; live carries the gauges the Server owns.
+func (m *metrics) write(w io.Writer, live liveStats) {
 	gauge := func(name, help string, v interface{}) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
 	}
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	gauge("planarcertd_sessions_active", "Number of live certification sessions.", activeSessions)
-	gauge("planarcertd_watchers_active", "Number of open watch streams.", watchers)
-	gauge("planarcertd_worker_budget_slots", "Extra verification worker slots shared by all sessions.", budgetSlots)
-	gauge("planarcertd_worker_budget_in_use", "Extra verification worker slots currently held.", budgetInUse)
+	fmt.Fprintf(w, "# HELP planarcertd_build_info Build identity of the running binary (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE planarcertd_build_info gauge\n")
+	fmt.Fprintf(w, "planarcertd_build_info{version=%q,revision=%q} 1\n", m.buildVersion, m.buildRevision)
+	gauge("planarcertd_sessions_active", "Number of live certification sessions.", live.activeSessions)
+	gauge("planarcertd_watchers_active", "Number of open watch streams.", live.watchers)
+	gauge("planarcertd_worker_budget_slots", "Extra verification worker slots shared by all sessions.", live.budgetSlots)
+	gauge("planarcertd_worker_budget_in_use", "Extra verification worker slots currently held.", live.budgetInUse)
 	counter("planarcertd_sessions_created_total", "Sessions created since start.", m.sessionsCreated.Load())
 	counter("planarcertd_sessions_deleted_total", "Sessions deleted since start.", m.sessionsDeleted.Load())
 	counter("planarcertd_updates_total", "Topology updates absorbed across all sessions.", m.updatesTotal.Load())
@@ -147,6 +261,11 @@ func (m *metrics) write(w io.Writer, activeSessions, watchers, budgetSlots, budg
 	counter("planarcertd_wal_appends_total", "Update batches appended to per-session WALs.", m.walAppends.Load())
 	counter("planarcertd_snapshots_written_total", "Certificate snapshots written.", m.snapshotsWritten.Load())
 
+	fmt.Fprintf(w, "# HELP planarcertd_trace_dropped_total Batch traces dropped by the tracer, by reason (sampled out vs evicted from the ring).\n")
+	fmt.Fprintf(w, "# TYPE planarcertd_trace_dropped_total counter\n")
+	fmt.Fprintf(w, "planarcertd_trace_dropped_total{reason=\"sampled\"} %d\n", live.traceDropSampled)
+	fmt.Fprintf(w, "planarcertd_trace_dropped_total{reason=\"evicted\"} %d\n", live.traceDropEvicted)
+
 	fmt.Fprintf(w, "# HELP planarcertd_batches_total Flushed batches by absorption mode (repair vs reprove vs cache ...).\n")
 	fmt.Fprintf(w, "# TYPE planarcertd_batches_total counter\n")
 	counts := m.modeCounts()
@@ -161,4 +280,7 @@ func (m *metrics) write(w io.Writer, activeSessions, watchers, budgetSlots, budg
 
 	m.batchSeconds.write(w, "planarcertd_batch_seconds", "End-to-end flush latency (repair/re-prove + verification).")
 	m.verifySeconds.write(w, "planarcertd_verify_seconds", "Full 1-round verification latency.")
+	m.budgetWait.write(w, "planarcertd_budget_wait_seconds", "Per-batch wait for shared verification budget slots.")
+	m.frontierNodes.write(w, "planarcertd_batch_frontier_nodes", "Nodes re-verified per batch (the dirty frontier; n for a full sweep).")
+	m.modeSeconds.write(w, "planarcertd_batch_mode_seconds", "Batch latency by scheme and absorption mode.")
 }

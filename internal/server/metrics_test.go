@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMetricsConcurrentHammer drives every observation path of the
+// metrics registry from many goroutines while concurrent renders are in
+// flight. Run under -race this pins the locking of histogram, histVec
+// and the mode counters; the final exposition must account for every
+// observation exactly once.
+func TestMetricsConcurrentHammer(t *testing.T) {
+	m := newMetrics()
+	modes := []string{"repair", "reprove", "cache", "noop", "flip"}
+	schemes := []string{"planarity", "outerplanarity"}
+	const goroutines, perG = 8, 500
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.batchDone(modes[i%len(modes)], schemes[(g+i)%len(schemes)], i%5, i%300, float64(i%100)/1e4)
+				m.budgetWait.observe(float64(i%10) / 1e6)
+				m.verifySeconds.observe(float64(i%10) / 1e3)
+			}
+		}(g)
+	}
+	// Renders race the observations; they must never tear.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m.write(io.Discard, liveStats{activeSessions: 1, budgetSlots: 4, budgetInUse: 1})
+			}
+		}()
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	m.write(&buf, liveStats{})
+	text := buf.String()
+	total := goroutines * perG
+	for _, want := range []string{
+		fmt.Sprintf("planarcertd_batch_seconds_count %d", total),
+		fmt.Sprintf("planarcertd_budget_wait_seconds_count %d", total),
+		fmt.Sprintf("planarcertd_verify_seconds_count %d", total),
+		fmt.Sprintf("planarcertd_batch_frontier_nodes_count %d", total),
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition lost observations: missing %q", want)
+		}
+	}
+	// The labeled family saw the same batches, spread over its series.
+	var labeled uint64
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "planarcertd_batch_mode_seconds_count{") {
+			v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			labeled += v
+		}
+	}
+	if labeled != uint64(total) {
+		t.Errorf("labeled histogram counts sum to %d, want %d", labeled, total)
+	}
+}
+
+// promSample is one parsed exposition sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// labelsKey renders the sample's labels minus `except` as a stable
+// grouping key.
+func (s promSample) labelsKey(except string) string {
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		if k != except {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, s.labels[k])
+	}
+	return b.String()
+}
+
+// parseExposition is a strict parser for the subset of the Prometheus
+// text format the daemon emits: HELP/TYPE headers and sample lines with
+// optional {k="v",...} labels (no escapes, no timestamps).
+func parseExposition(t *testing.T, text string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = make(map[string]string)
+	help := make(map[string]bool)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, text, ok := strings.Cut(rest, " ")
+			if !ok || text == "" {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			help[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, typ)
+			}
+			if !help[name] {
+				t.Fatalf("line %d: TYPE for %s before its HELP", ln+1, name)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unrecognized comment %q", ln+1, line)
+		}
+		nameAndLabels, valueStr, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		s := promSample{labels: map[string]string{}, value: value}
+		s.name = nameAndLabels
+		if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
+			if !strings.HasSuffix(nameAndLabels, "}") {
+				t.Fatalf("line %d: unterminated labels in %q", ln+1, line)
+			}
+			s.name = nameAndLabels[:i]
+			for _, pair := range strings.Split(nameAndLabels[i+1:len(nameAndLabels)-1], ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("line %d: malformed label %q", ln+1, pair)
+				}
+				s.labels[k] = v[1 : len(v)-1]
+			}
+		}
+		samples = append(samples, s)
+	}
+	return types, samples
+}
+
+// TestMetricsExpositionWellFormed drives real traffic through a test
+// server, scrapes /metrics, and lints the entire exposition: every
+// sample belongs to a declared HELP/TYPE family, histogram buckets are
+// cumulative and consistent with their _sum/_count, and the new
+// observability series are present.
+func TestMetricsExpositionWellFormed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]interface{}{
+		"name": "lint", "scheme": "planarity",
+		"graph": map[string]string{"edge_list": "0 1\n1 2\n2 3\n3 4\n"},
+	}, http.StatusCreated, nil)
+	doJSON(t, "POST", ts.URL+"/v1/sessions/lint/updates",
+		`{"op":"add_edge","a":0,"b":2}`+"\n"+`{"op":"add_edge","a":0,"b":3}`, http.StatusOK, nil)
+	doJSON(t, "POST", ts.URL+"/v1/sessions/lint/updates", `{"op":"remove_edge","a":0,"b":2}`, http.StatusOK, nil)
+	doJSON(t, "POST", ts.URL+"/v1/sessions/lint/verify", nil, http.StatusOK, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseExposition(t, string(raw))
+
+	// Every sample maps to a declared family (histogram series map to
+	// their base name).
+	family := func(s promSample) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.name, suffix)
+			if base != s.name && types[base] == "histogram" {
+				return base
+			}
+		}
+		return s.name
+	}
+	bySeries := map[string][]promSample{}
+	for _, s := range samples {
+		fam := family(s)
+		if _, ok := types[fam]; !ok {
+			t.Fatalf("sample %s has no HELP/TYPE declaration", s.name)
+		}
+		if types[fam] == "counter" && s.value < 0 {
+			t.Fatalf("counter %s is negative: %g", s.name, s.value)
+		}
+		bySeries[s.name] = append(bySeries[s.name], s)
+	}
+
+	// Histogram invariants, per label set: buckets cumulative and
+	// non-decreasing, the +Inf bucket equals _count, _sum present.
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		counts := map[string]float64{}
+		sums := map[string]bool{}
+		for _, s := range bySeries[fam+"_count"] {
+			counts[s.labelsKey("")] = s.value
+		}
+		for _, s := range bySeries[fam+"_sum"] {
+			sums[s.labelsKey("")] = true
+		}
+		type bucket struct {
+			le    float64
+			count float64
+		}
+		groups := map[string][]bucket{}
+		for _, s := range bySeries[fam+"_bucket"] {
+			le := s.labels["le"]
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("%s: bad le %q", fam, le)
+				}
+			}
+			key := s.labelsKey("le")
+			groups[key] = append(groups[key], bucket{bound, s.value})
+		}
+		for key, bs := range groups {
+			sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+			for i := 1; i < len(bs); i++ {
+				if bs[i].count < bs[i-1].count {
+					t.Fatalf("%s{%s}: bucket counts not cumulative: le=%g has %g < %g", fam, key, bs[i].le, bs[i].count, bs[i-1].count)
+				}
+			}
+			last := bs[len(bs)-1]
+			if !math.IsInf(last.le, 1) {
+				t.Fatalf("%s{%s}: no +Inf bucket", fam, key)
+			}
+			if want, ok := counts[key]; !ok || last.count != want {
+				t.Fatalf("%s{%s}: +Inf bucket %g != _count %g (present=%v)", fam, key, last.count, want, ok)
+			}
+			if !sums[key] {
+				t.Fatalf("%s{%s}: missing _sum", fam, key)
+			}
+		}
+		if len(groups) == 0 && len(counts) > 0 {
+			t.Fatalf("%s: _count without buckets", fam)
+		}
+	}
+
+	// The observability series this layer added must be present.
+	for _, s := range []string{
+		"planarcertd_build_info",
+		"planarcertd_budget_wait_seconds",
+		"planarcertd_batch_frontier_nodes",
+		"planarcertd_batch_mode_seconds",
+		"planarcertd_trace_dropped_total",
+	} {
+		if _, ok := types[s]; !ok {
+			t.Errorf("exposition is missing %s", s)
+		}
+	}
+	// build_info carries its identity labels and the traced batches
+	// landed in the labeled latency family.
+	bi := bySeries["planarcertd_build_info"]
+	if len(bi) != 1 || bi[0].labels["version"] == "" || bi[0].labels["revision"] == "" || bi[0].value != 1 {
+		t.Errorf("planarcertd_build_info malformed: %+v", bi)
+	}
+	var sawMode bool
+	for _, s := range bySeries["planarcertd_batch_mode_seconds_count"] {
+		if s.labels["scheme"] != "" && s.labels["mode"] != "" && s.value > 0 {
+			sawMode = true
+		}
+	}
+	if !sawMode {
+		t.Error("no (scheme, mode) series recorded in planarcertd_batch_mode_seconds")
+	}
+	reasons := map[string]bool{}
+	for _, s := range bySeries["planarcertd_trace_dropped_total"] {
+		reasons[s.labels["reason"]] = true
+	}
+	if !reasons["sampled"] || !reasons["evicted"] {
+		t.Errorf("planarcertd_trace_dropped_total missing reason series: %v", reasons)
+	}
+}

@@ -56,12 +56,14 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/obs"
 	"github.com/planarcert/planarcert/internal/wal"
 )
 
@@ -95,6 +97,16 @@ type Config struct {
 	// per-session snapshots (0 = 32). Explicit flushes and shutdown also
 	// snapshot.
 	SnapshotEvery int
+	// TraceRing is the number of completed batch traces retained for
+	// /debug/traces (0 = 256; negative disables tracing entirely).
+	TraceRing int
+	// TraceSampleEvery keeps every Nth batch trace (0 or 1 = every
+	// trace). Slow batches are retained regardless — see TraceSlow.
+	TraceSampleEvery int
+	// TraceSlow is the duration at or above which a batch trace is
+	// always retained, bypassing the sampler (0 = 100ms; negative
+	// disables slow retention).
+	TraceSlow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +136,10 @@ type Server struct {
 	met    *metrics
 	start  time.Time
 	mux    *http.ServeMux
+	// tracer records one span tree per flushed batch; nil when tracing
+	// is disabled (Config.TraceRing < 0) — every span operation is
+	// nil-safe, so the instrumented paths need no conditionals.
+	tracer *obs.Tracer
 
 	// root is the durability layer's data directory; nil until Recover
 	// opens it (and forever nil when Config.DataDir is empty).
@@ -151,6 +167,13 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		sessions: make(map[string]*session),
 	}
+	if cfg.TraceRing >= 0 {
+		s.tracer = obs.New(obs.Config{
+			Ring:          cfg.TraceRing,
+			SampleEvery:   cfg.TraceSampleEvery,
+			SlowThreshold: cfg.TraceSlow,
+		})
+	}
 	s.cfg.Engine.Budget = s.budget
 	// A non-durable server has nothing to recover and is born ready;
 	// a durable one flips ready inside Recover.
@@ -174,6 +197,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{name}/certificates", s.handleCertificates)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/graph", s.handleSessionGraph)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/watch", s.handleWatch)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/{session}", s.handleTraces)
 	return s
 }
 
@@ -310,8 +335,53 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ms.watchMu.Unlock()
 	}
 	s.mu.RUnlock()
+	sampled, evicted := s.tracer.Dropped()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, active, watchers, s.budget.Slots(), s.budget.InUse())
+	s.met.write(w, liveStats{
+		activeSessions:   active,
+		watchers:         watchers,
+		budgetSlots:      s.budget.Slots(),
+		budgetInUse:      s.budget.InUse(),
+		traceDropSampled: sampled,
+		traceDropEvicted: evicted,
+	})
+}
+
+// TracesPage is the /debug/traces response: the retained trace records
+// (newest first) plus the tracer's drop counters, so a consumer can
+// tell how complete the window is.
+type TracesPage struct {
+	// Enabled is false when the server was built with tracing disabled.
+	Enabled bool `json:"enabled"`
+	// Session is the filter applied ("" = all sessions).
+	Session string `json:"session,omitempty"`
+	// DroppedSampled counts traces dropped by the sampler.
+	DroppedSampled uint64 `json:"dropped_sampled"`
+	// DroppedEvicted counts traces evicted from the ring by newer ones.
+	DroppedEvicted uint64 `json:"dropped_evicted"`
+	// Traces are the retained records, newest first.
+	Traces []*obs.TraceRecord `json:"traces"`
+}
+
+// handleTraces serves the trace ring buffer as JSON; the {session} form
+// filters to one session's traces. ?limit=N caps the records returned.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	page := TracesPage{Enabled: s.tracer != nil, Session: r.PathValue("session")}
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", q)
+			return
+		}
+		limit = n
+	}
+	page.DroppedSampled, page.DroppedEvicted = s.tracer.Dropped()
+	page.Traces = s.tracer.Records(page.Session, limit)
+	if page.Traces == nil {
+		page.Traces = []*obs.TraceRecord{}
+	}
+	writeJSON(w, http.StatusOK, page)
 }
 
 func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
@@ -601,13 +671,27 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rep, elapsed, err := ms.apply(updates)
+	sp := s.tracer.Start(ms.name, obs.SpanBatch)
+	rep, elapsed, err := ms.apply(updates, sp)
 	if err != nil {
+		sp.SetStr("error", err.Error())
+		sp.End()
 		s.batchError(w, err)
 		return
 	}
-	s.met.batchDone(rep.Mode, rep.Updates, elapsed.Seconds())
+	sp.End()
+	s.recordBatch(sp, rep, elapsed)
 	writeJSON(w, http.StatusOK, UpdatesResponse{Queued: len(updates), Report: rep})
+}
+
+// recordBatch feeds one flushed batch into the metrics. With tracing
+// on, the batch's budget-wait phase (summed over its sweeps) lands in
+// the budget-wait histogram — measured waiting, not inference.
+func (s *Server) recordBatch(sp *obs.Span, rep *planarcert.SessionReport, elapsed time.Duration) {
+	s.met.batchDone(rep.Mode, string(rep.ActiveScheme), rep.Updates, rep.Verified, elapsed.Seconds())
+	if sp != nil {
+		s.met.budgetWait.observe(obs.Phases(sp)[obs.PhaseBudgetWait].Seconds())
+	}
 }
 
 // batchError maps a failed apply/flush to its status: a batch the
@@ -634,12 +718,16 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
 		return
 	}
-	rep, elapsed, err := ms.flush()
+	sp := s.tracer.Start(ms.name, obs.SpanBatch)
+	rep, elapsed, err := ms.flush(sp)
 	if err != nil {
+		sp.SetStr("error", err.Error())
+		sp.End()
 		s.batchError(w, err)
 		return
 	}
-	s.met.batchDone(rep.Mode, rep.Updates, elapsed.Seconds())
+	sp.End()
+	s.recordBatch(sp, rep, elapsed)
 	writeJSON(w, http.StatusOK, UpdatesResponse{Report: rep})
 }
 

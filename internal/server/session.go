@@ -5,6 +5,7 @@ import (
 	"time"
 
 	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/obs"
 	"github.com/planarcert/planarcert/internal/wal"
 )
 
@@ -185,12 +186,16 @@ func (ms *session) writeSnapshotLocked() error {
 // held (it is non-blocking, so this is cheap) so that watchers receive
 // reports in generation order even when applies race. The returned
 // duration is the time spent inside the session (repair/re-prove +
-// verification), excluding lock wait.
-func (ms *session) flush() (*planarcert.SessionReport, time.Duration, error) {
+// verification), excluding lock wait — the wait itself lands on sp's
+// queue-wait child. sp may be nil (tracing off).
+func (ms *session) flush(sp *obs.Span) (*planarcert.SessionReport, time.Duration, error) {
+	qw := sp.Child(obs.SpanQueueWait)
 	ms.mu.Lock()
+	qw.End()
 	defer ms.mu.Unlock()
 	batch := ms.pendingLog
 	ms.pendingLog = nil
+	ms.s.Trace(sp)
 	start := time.Now()
 	rep, err := ms.s.Flush()
 	elapsed := time.Since(start)
@@ -200,7 +205,7 @@ func (ms *session) flush() (*planarcert.SessionReport, time.Duration, error) {
 	if err != nil {
 		return nil, elapsed, err
 	}
-	if err := ms.persistBatchLocked(batch); err != nil {
+	if err := ms.persistLoggedBatch(sp, batch); err != nil {
 		return nil, elapsed, &persistError{err}
 	}
 	if ms.store != nil {
@@ -212,12 +217,26 @@ func (ms *session) flush() (*planarcert.SessionReport, time.Duration, error) {
 	return rep, elapsed, nil
 }
 
+// persistLoggedBatch runs persistBatchLocked under a persist span, so a
+// traced batch shows how much of its latency was durability.
+func (ms *session) persistLoggedBatch(sp *obs.Span, batch []planarcert.Update) error {
+	pp := sp.Child(obs.SpanPersist)
+	err := ms.persistBatchLocked(batch)
+	if err != nil {
+		pp.SetStr("error", err.Error())
+	}
+	pp.End()
+	return err
+}
+
 // apply queues the batch and flushes it as one serialized operation, so
 // two concurrent apply calls cannot interleave their updates into one
 // merged batch. Like flush, the broadcast runs under ms.mu to preserve
 // generation order for watchers.
-func (ms *session) apply(updates []planarcert.Update) (*planarcert.SessionReport, time.Duration, error) {
+func (ms *session) apply(updates []planarcert.Update, sp *obs.Span) (*planarcert.SessionReport, time.Duration, error) {
+	qw := sp.Child(obs.SpanQueueWait)
 	ms.mu.Lock()
+	qw.End()
 	defer ms.mu.Unlock()
 	// Apply absorbs the whole pending log plus this request's updates as
 	// one batch; the WAL record must carry all of it.
@@ -226,6 +245,7 @@ func (ms *session) apply(updates []planarcert.Update) (*planarcert.SessionReport
 		batch = append(append([]planarcert.Update{}, ms.pendingLog...), updates...)
 	}
 	ms.pendingLog = nil
+	ms.s.Trace(sp)
 	start := time.Now()
 	rep, err := ms.s.Apply(updates)
 	elapsed := time.Since(start)
@@ -233,7 +253,7 @@ func (ms *session) apply(updates []planarcert.Update) (*planarcert.SessionReport
 	if err != nil {
 		return nil, elapsed, err
 	}
-	if err := ms.persistBatchLocked(batch); err != nil {
+	if err := ms.persistLoggedBatch(sp, batch); err != nil {
 		return nil, elapsed, &persistError{err}
 	}
 	ms.broadcast(rep)

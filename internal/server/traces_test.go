@@ -1,0 +1,243 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	planarcert "github.com/planarcert/planarcert"
+)
+
+// jsonSpan, jsonTrace and jsonPage mirror the /debug/traces wire shape,
+// so these tests pin the JSON surface external tooling consumes (the
+// in-process obs types marshal but do not unmarshal).
+type jsonSpan struct {
+	Name          string                 `json:"name"`
+	StartUnixNano int64                  `json:"start_unix_nano"`
+	DurationNanos int64                  `json:"duration_nanos"`
+	Unfinished    bool                   `json:"unfinished"`
+	Attrs         map[string]interface{} `json:"attrs"`
+	Children      []*jsonSpan            `json:"children"`
+}
+
+func (s *jsonSpan) child(name string) *jsonSpan {
+	for _, c := range s.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+type jsonTrace struct {
+	ID      uint64    `json:"id"`
+	Session string    `json:"session"`
+	Slow    bool      `json:"slow"`
+	Root    *jsonSpan `json:"root"`
+}
+
+type jsonPage struct {
+	Enabled        bool         `json:"enabled"`
+	Session        string       `json:"session"`
+	DroppedSampled uint64       `json:"dropped_sampled"`
+	DroppedEvicted uint64       `json:"dropped_evicted"`
+	Traces         []*jsonTrace `json:"traces"`
+}
+
+// newTracedSession creates a session named name seeded with a path of n
+// nodes on a server whose engine is forced parallel, so sweeps record
+// budget-wait spans.
+func newTracedSession(t *testing.T, ts string, name string, n int) {
+	t.Helper()
+	edges := ""
+	for i := 0; i < n-1; i++ {
+		edges += itoa(i) + " " + itoa(i+1) + "\n"
+	}
+	doJSON(t, "POST", ts+"/v1/sessions", map[string]interface{}{
+		"name": name, "scheme": "planarity",
+		"graph": map[string]string{"edge_list": edges},
+	}, http.StatusCreated, nil)
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+// TestDebugTracesEndToEnd drives batches through a traced server and
+// checks the /debug/traces surface: span nesting (batch → queue-wait /
+// sweep → budget-wait, prove on a re-prove batch), batch attribution
+// attrs, and the newest-first ordering.
+func TestDebugTracesEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Engine: planarcert.EngineConfig{Parallel: true, Workers: 2, ShardSize: 4},
+	})
+	newTracedSession(t, ts.URL, "e2e", 50)
+
+	// A chord add within repair range, then a flush of a queued batch.
+	doJSON(t, "POST", ts.URL+"/v1/sessions/e2e/updates", `{"op":"add_edge","a":0,"b":10}`, http.StatusOK, nil)
+	doJSON(t, "POST", ts.URL+"/v1/sessions/e2e/updates?mode=queue", `{"op":"add_edge","a":20,"b":30}`, http.StatusAccepted, nil)
+	doJSON(t, "POST", ts.URL+"/v1/sessions/e2e/flush", nil, http.StatusOK, nil)
+
+	var page jsonPage
+	doJSON(t, "GET", ts.URL+"/debug/traces", nil, http.StatusOK, &page)
+	if !page.Enabled {
+		t.Fatal("tracing disabled on a default server")
+	}
+	if len(page.Traces) != 2 {
+		t.Fatalf("got %d traces, want 2 (one per flushed batch)", len(page.Traces))
+	}
+	if page.Traces[0].ID <= page.Traces[1].ID {
+		t.Fatalf("traces not newest-first: ids %d, %d", page.Traces[0].ID, page.Traces[1].ID)
+	}
+
+	for _, tr := range page.Traces {
+		if tr.Session != "e2e" {
+			t.Fatalf("trace attributed to session %q", tr.Session)
+		}
+		root := tr.Root
+		if root.Name != "batch" || root.Unfinished || root.DurationNanos <= 0 {
+			t.Fatalf("bad root span: %+v", root)
+		}
+		// Batch attribution: the session layer stamps the absorption
+		// outcome on the root.
+		if mode, _ := root.Attrs["mode"].(string); mode == "" {
+			t.Fatalf("root span has no mode attr: %v", root.Attrs)
+		}
+		if _, ok := root.Attrs["verified"]; !ok {
+			t.Fatalf("root span has no verified attr: %v", root.Attrs)
+		}
+		if root.child("queue-wait") == nil {
+			t.Fatal("batch has no queue-wait child")
+		}
+		sweep := root.child("sweep")
+		if sweep == nil {
+			t.Fatalf("batch (mode %v) has no sweep child", root.Attrs["mode"])
+		}
+		if sweep.child("budget-wait") == nil {
+			t.Fatal("parallel sweep recorded no budget-wait child")
+		}
+		if mode, _ := root.Attrs["mode"].(string); mode == "reprove" || mode == "flip" {
+			if root.child("prove") == nil {
+				t.Fatal("re-prove batch has no prove child")
+			}
+		}
+	}
+}
+
+// TestDebugTracesPersistSpan checks that on a durable server the ack
+// path's WAL work shows up as a persist span under the batch.
+func TestDebugTracesPersistSpan(t *testing.T) {
+	srv, ts := newTestServer(t, Config{DataDir: t.TempDir()})
+	if err := srv.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	newTracedSession(t, ts.URL, "dur", 20)
+	doJSON(t, "POST", ts.URL+"/v1/sessions/dur/updates", `{"op":"add_edge","a":0,"b":5}`, http.StatusOK, nil)
+
+	var page jsonPage
+	doJSON(t, "GET", ts.URL+"/debug/traces/dur", nil, http.StatusOK, &page)
+	if len(page.Traces) == 0 {
+		t.Fatal("no traces for durable session")
+	}
+	if page.Traces[0].Root.child("persist") == nil {
+		t.Fatal("durable batch has no persist child")
+	}
+}
+
+// TestDebugTracesSessionFilterAndLimit checks the {session} path form
+// and the ?limit parameter, including limit validation.
+func TestDebugTracesSessionFilterAndLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	newTracedSession(t, ts.URL, "alpha", 20)
+	newTracedSession(t, ts.URL, "beta", 20)
+	for i := 0; i < 3; i++ {
+		doJSON(t, "POST", ts.URL+"/v1/sessions/alpha/updates", `{"op":"add_edge","a":0,"b":`+itoa(5+i)+`}`, http.StatusOK, nil)
+		doJSON(t, "POST", ts.URL+"/v1/sessions/beta/updates", `{"op":"add_edge","a":1,"b":`+itoa(6+i)+`}`, http.StatusOK, nil)
+	}
+
+	var page jsonPage
+	doJSON(t, "GET", ts.URL+"/debug/traces/alpha", nil, http.StatusOK, &page)
+	if page.Session != "alpha" || len(page.Traces) != 3 {
+		t.Fatalf("session filter: got session %q with %d traces, want alpha with 3", page.Session, len(page.Traces))
+	}
+	for _, tr := range page.Traces {
+		if tr.Session != "alpha" {
+			t.Fatalf("filtered page leaked a %q trace", tr.Session)
+		}
+	}
+
+	doJSON(t, "GET", ts.URL+"/debug/traces?limit=2", nil, http.StatusOK, &page)
+	if len(page.Traces) != 2 {
+		t.Fatalf("limit=2 returned %d traces", len(page.Traces))
+	}
+	req, err := http.NewRequest("GET", ts.URL+"/debug/traces?limit=bogus", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("limit=bogus: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDebugTracesRingEviction fills a tiny ring past capacity and
+// checks that only the newest traces survive and the evictions are
+// counted.
+func TestDebugTracesRingEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceRing: 2})
+	newTracedSession(t, ts.URL, "ring", 20)
+	for i := 0; i < 5; i++ {
+		doJSON(t, "POST", ts.URL+"/v1/sessions/ring/updates", `{"op":"add_edge","a":0,"b":`+itoa(5+i)+`}`, http.StatusOK, nil)
+	}
+
+	var page jsonPage
+	doJSON(t, "GET", ts.URL+"/debug/traces", nil, http.StatusOK, &page)
+	if len(page.Traces) != 2 {
+		t.Fatalf("ring of 2 retained %d traces", len(page.Traces))
+	}
+	if page.DroppedEvicted != 3 {
+		t.Fatalf("dropped_evicted = %d, want 3", page.DroppedEvicted)
+	}
+	if page.Traces[0].ID != 5 || page.Traces[1].ID != 4 {
+		t.Fatalf("ring kept traces %d, %d; want the newest (5, 4)", page.Traces[0].ID, page.Traces[1].ID)
+	}
+}
+
+// TestDebugTracesSlowAlwaysKept runs with an aggressive sampler that
+// would drop everything, plus a slow threshold of one nanosecond: every
+// batch qualifies as slow, so the tail survives the sampling.
+func TestDebugTracesSlowAlwaysKept(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceSampleEvery: 1 << 20, TraceSlow: time.Nanosecond})
+	newTracedSession(t, ts.URL, "slow", 20)
+	for i := 0; i < 3; i++ {
+		doJSON(t, "POST", ts.URL+"/v1/sessions/slow/updates", `{"op":"add_edge","a":0,"b":`+itoa(5+i)+`}`, http.StatusOK, nil)
+	}
+
+	var page jsonPage
+	doJSON(t, "GET", ts.URL+"/debug/traces", nil, http.StatusOK, &page)
+	if len(page.Traces) != 3 {
+		t.Fatalf("slow retention kept %d traces, want all 3", len(page.Traces))
+	}
+	for _, tr := range page.Traces {
+		if !tr.Slow {
+			t.Fatalf("trace %d not marked slow", tr.ID)
+		}
+	}
+}
+
+// TestDebugTracesDisabled checks the tracing-off surface: the endpoint
+// stays up, reports enabled=false, and returns no traces.
+func TestDebugTracesDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceRing: -1})
+	newTracedSession(t, ts.URL, "off", 20)
+	doJSON(t, "POST", ts.URL+"/v1/sessions/off/updates", `{"op":"add_edge","a":0,"b":5}`, http.StatusOK, nil)
+
+	var page jsonPage
+	doJSON(t, "GET", ts.URL+"/debug/traces", nil, http.StatusOK, &page)
+	if page.Enabled || len(page.Traces) != 0 {
+		t.Fatalf("disabled tracing returned enabled=%v with %d traces", page.Enabled, len(page.Traces))
+	}
+}

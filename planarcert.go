@@ -39,6 +39,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/planarcert/planarcert/internal/bits"
 	"github.com/planarcert/planarcert/internal/core"
@@ -341,6 +342,18 @@ type EngineConfig struct {
 	// blocks on an exhausted budget — it degrades toward sequential
 	// execution instead.
 	Budget *WorkerBudget
+	// BudgetPatience, when positive, lets a sweep that finds the shared
+	// Budget exhausted wait up to this long (on a side goroutine, so
+	// the sweep itself keeps making progress) for one released slot
+	// instead of giving it up immediately. The wait is measured on the
+	// budget-wait tracing span and in planarcertd's budget-wait
+	// histogram. Zero — the default — never waits.
+	BudgetPatience time.Duration
+	// Span, when non-nil, attaches this engine's tracing output (sweep,
+	// round, and budget-wait child spans) to the given parent span. Use
+	// it for one-shot VerifyWith calls; sessions trace per batch via
+	// Session.Trace, which overrides this for the flush it covers.
+	Span *TraceSpan
 }
 
 // WorkerBudget is a shared, bounded pool of verification-worker slots.
@@ -385,6 +398,12 @@ func (c EngineConfig) options() []dist.Option {
 	}
 	if c.Budget != nil {
 		opts = append(opts, dist.Limit(c.Budget.b))
+	}
+	if c.BudgetPatience > 0 {
+		opts = append(opts, dist.BudgetPatience(c.BudgetPatience))
+	}
+	if c.Span != nil {
+		opts = append(opts, dist.WithSpan(c.Span))
 	}
 	return opts
 }

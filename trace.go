@@ -1,0 +1,36 @@
+package planarcert
+
+import "github.com/planarcert/planarcert/internal/obs"
+
+// Tracer collects completed traces into a fixed-size ring buffer behind
+// an always-on sampler (keep every Nth trace, always keep slow ones).
+// It is the type planarcertd serves on /debug/traces; library users can
+// attach one to sessions via Session.Trace and EngineConfig.Span. A nil
+// *Tracer is valid and records nothing.
+type Tracer = obs.Tracer
+
+// TraceSpan is one timed, attributed, nested phase of a traced
+// operation. All methods are nil-safe: instrumented code paths cost one
+// pointer test when tracing is off. Spans are handed out by
+// Tracer.Start and TraceSpan.Child; the creator of a span must End it.
+type TraceSpan = obs.Span
+
+// TracerConfig parameterises NewTracer: ring size, sampling rate, and
+// the slow-trace threshold above which every trace is retained.
+type TracerConfig = obs.Config
+
+// TraceRecord is one retained trace: its root span plus the session
+// name and slow-trace marker it was collected under.
+type TraceRecord = obs.TraceRecord
+
+// NewTracer builds a tracer. The zero TracerConfig keeps 256 traces,
+// samples every trace, and always retains traces of 100ms or more.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.New(cfg) }
+
+// Trace installs a tracing span for this session's next Apply or Flush:
+// the batch's verification sweeps, rounds, budget waits, prover, and
+// repair attempts record child spans under it, and the absorption
+// outcome (mode, updates, dirty, verified) is stamped as attributes.
+// Exactly one batch consumes the span; the caller remains responsible
+// for ending it. A nil span records nothing.
+func (s *Session) Trace(sp *TraceSpan) { s.d.TraceNext(sp) }

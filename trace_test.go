@@ -1,0 +1,73 @@
+package planarcert
+
+import (
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/obs"
+)
+
+// TestSessionTraceThreading pins the public tracing contract: a span
+// installed via Session.Trace is consumed by exactly one batch, carries
+// the absorption mode and counts as attributes, and has the engine's
+// sweep (with its budget-wait child) plus the prover's spans nested
+// under it.
+func TestSessionTraceThreading(t *testing.T) {
+	n := NewNetwork()
+	for id := NodeID(0); id < 50; id++ {
+		if err := n.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+		if id > 0 {
+			if err := n.AddEdge(id-1, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s, err := NewSession(n, SchemePlanarity, EngineConfig{Parallel: true, Workers: 2, ShardSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTracer(TracerConfig{Ring: 4})
+	sp := tr.Start("sess", obs.SpanBatch)
+	s.Trace(sp)
+	rep, err := s.Apply([]Update{EdgeAdd(0, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+
+	if mode, _ := sp.StrAttr("mode"); mode != rep.Mode {
+		t.Fatalf("span mode %q != report mode %q", mode, rep.Mode)
+	}
+	if v, _ := sp.IntAttr("verified"); v != int64(rep.Verified) {
+		t.Fatalf("span verified %d != report %d", v, rep.Verified)
+	}
+	var sweep *TraceSpan
+	for _, c := range sp.Children() {
+		if c.Name() == obs.SpanSweep {
+			sweep = c
+		}
+	}
+	if sweep == nil {
+		t.Fatalf("no sweep under traced batch (children %v)", sp.Children())
+	}
+	found := false
+	for _, c := range sweep.Children() {
+		if c.Name() == obs.SpanBudgetWait {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("parallel sweep recorded no budget-wait child")
+	}
+
+	// The span is one-shot: the next batch must not touch it.
+	before := len(sp.Children())
+	if _, err := s.Apply([]Update{EdgeAdd(0, 20)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sp.Children()); got != before {
+		t.Fatalf("second batch reused the consumed span (%d -> %d children)", before, got)
+	}
+}
