@@ -14,8 +14,11 @@ import (
 // diff against.
 func TestBenchSnapshotsWellFormed(t *testing.T) {
 	type entry struct {
-		Name    string `json:"name"`
-		NsPerOp int64  `json:"ns_per_op"`
+		Name          string  `json:"name"`
+		NsPerOp       int64   `json:"ns_per_op"`
+		AllocsPerOp   int64   `json:"allocs_per_op"`
+		NodesPerS     float64 `json:"nodes_per_s"`
+		AllocsPerNode float64 `json:"allocs_per_node"`
 	}
 	type snapshot struct {
 		Note       string  `json:"note"`
@@ -71,6 +74,45 @@ func TestBenchSnapshotsWellFormed(t *testing.T) {
 			}
 		}
 	}
+	// The acceptance bars of the allocation-free verification hot path,
+	// checked against the committed engine snapshot: every sweep size
+	// stays at or under 10 allocations per node (the seed ran ~96), and
+	// throughput is near-flat across the n-sweep — nodes/s at n=16384 is
+	// at least 0.8x nodes/s at n=64 in the same mode (certificates are
+	// Θ(log n) bits, so decode cost per node may grow only gently).
+	raw0, err := os.ReadFile("BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base snapshot
+	if err := json.Unmarshal(raw0, &base); err != nil {
+		t.Fatal(err)
+	}
+	perNodeBars := map[string]float64{}
+	for _, b := range base.Benchmarks {
+		if !strings.HasPrefix(b.Name, "BenchmarkEngineParallel/") {
+			continue
+		}
+		if b.AllocsPerNode > 10 {
+			t.Errorf("BENCH_baseline.json: %s spends %.2f allocs/node, bar is 10", b.Name, b.AllocsPerNode)
+		}
+		if b.NodesPerS <= 0 {
+			t.Errorf("BENCH_baseline.json: %s missing nodes_per_s", b.Name)
+		}
+		perNodeBars[b.Name] = b.NodesPerS
+	}
+	for _, mode := range []string{"seq", "par"} {
+		small := perNodeBars["BenchmarkEngineParallel/n=64/"+mode]
+		large := perNodeBars["BenchmarkEngineParallel/n=16384/"+mode]
+		if small == 0 || large == 0 {
+			t.Fatalf("BENCH_baseline.json: missing the n=64/n=16384 %s pair", mode)
+		}
+		if large < 0.8*small {
+			t.Errorf("BENCH_baseline.json: %s throughput decays across the sweep: n=16384 %.0f nodes/s < 0.8 x n=64 %.0f nodes/s",
+				mode, large, small)
+		}
+	}
+
 	// The acceptance bar of the dynamic subsystem, checked against the
 	// committed numbers: a single-edge update at n = 50000 is at least
 	// 10x faster than a full re-certification.

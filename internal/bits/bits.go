@@ -11,6 +11,7 @@
 package bits
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -94,6 +95,15 @@ func NewReader(buf []byte, nbits int) *Reader {
 	return &Reader{buf: buf, nbit: nbits}
 }
 
+// Reset repoints r at the first nbits of buf and rewinds it, so one
+// Reader can decode many certificates without allocating (the
+// verification hot path reuses a Reader per worker).
+func (r *Reader) Reset(buf []byte, nbits int) {
+	r.buf = buf
+	r.pos = 0
+	r.nbit = nbits
+}
+
 // Remaining returns the number of unread bits.
 func (r *Reader) Remaining() int { return r.nbit - r.pos }
 
@@ -107,22 +117,37 @@ func (r *Reader) ReadBit() (bool, error) {
 	return b, nil
 }
 
-// ReadUint consumes width bits as an unsigned integer.
+// ReadUint consumes width bits as an unsigned integer. It extracts
+// whole bytes at a time: certificates are Θ(log n) bits, so the decode
+// loop is the verification sweep's inner loop and a bit-by-bit read
+// makes whole-network throughput decay with n.
 func (r *Reader) ReadUint(width int) (uint64, error) {
 	if width < 0 || width > 64 {
 		return 0, fmt.Errorf("%w: width %d", ErrOutOfRange, width)
 	}
-	var v uint64
-	for i := 0; i < width; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
-		}
-		v <<= 1
-		if b {
-			v |= 1
-		}
+	if r.pos+width > r.nbit {
+		return 0, ErrShortRead
 	}
+	// Fast path: the whole field sits inside one aligned 8-byte load.
+	if idx, off := r.pos>>3, r.pos&7; off+width <= 64 && idx+8 <= len(r.buf) {
+		v := binary.BigEndian.Uint64(r.buf[idx:]) << uint(off) >> uint(64-width)
+		r.pos += width
+		return v, nil
+	}
+	var v uint64
+	pos, rem := r.pos, width
+	for rem > 0 {
+		avail := 8 - pos&7
+		take := avail
+		if take > rem {
+			take = rem
+		}
+		chunk := uint64(r.buf[pos>>3]) >> uint(avail-take) & (1<<uint(take) - 1)
+		v = v<<uint(take) | chunk
+		pos += take
+		rem -= take
+	}
+	r.pos = pos
 	return v, nil
 }
 
@@ -135,8 +160,19 @@ func (r *Reader) ReadInt(lo int64, width int) (int64, error) {
 	return lo + int64(v), nil
 }
 
-// ReadVar consumes a value written by WriteVar.
+// ReadVar consumes a value written by WriteVar. Like ReadUint it
+// decodes the whole field — length prefix and payload — from one
+// 8-byte window when it fits, falling back to two reads otherwise.
 func (r *Reader) ReadVar() (uint64, error) {
+	pos := r.pos
+	if idx, off := pos>>3, pos&7; idx+8 <= len(r.buf) {
+		w := binary.BigEndian.Uint64(r.buf[idx:]) << uint(off)
+		n := int(w >> 58)
+		if off+6+n <= 64 && pos+6+n <= r.nbit {
+			r.pos = pos + 6 + n
+			return w << 6 >> uint(64-n), nil
+		}
+	}
 	n, err := r.ReadUint(6)
 	if err != nil {
 		return 0, err
@@ -177,6 +213,10 @@ func FromWriter(w *Writer) Certificate {
 
 // Reader returns a reader over the certificate.
 func (c Certificate) Reader() *Reader { return NewReader(c.Data, c.Bits) }
+
+// ResetReader rewinds r onto the certificate, the allocation-free
+// counterpart of Reader.
+func (c Certificate) ResetReader(r *Reader) { r.Reset(c.Data, c.Bits) }
 
 // Size returns the certificate size in bits (the paper's measure).
 func (c Certificate) Size() int { return c.Bits }

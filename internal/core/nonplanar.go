@@ -85,15 +85,26 @@ func (c *NonPlanarCert) Encode(w *bits.Writer) error {
 	return nil
 }
 
-// DecodeNonPlanarCert reads a NonPlanarCert.
+// DecodeNonPlanarCert reads a NonPlanarCert into fresh objects.
 func DecodeNonPlanarCert(r *bits.Reader) (*NonPlanarCert, error) {
-	tc, err := pls.DecodeTreeCert(r)
-	if err != nil {
+	c := new(NonPlanarCert)
+	if err := decodeNonPlanarCertInto(r, c); err != nil {
 		return nil, err
 	}
-	c := &NonPlanarCert{Tree: *tc}
+	return c, nil
+}
+
+// decodeNonPlanarCertInto reads a NonPlanarCert into c, reusing c's
+// BranchIDs backing (c may be a slab entry holding a previous node's
+// decode — every field is rewritten).
+func decodeNonPlanarCertInto(r *bits.Reader, c *NonPlanarCert) error {
+	*c = NonPlanarCert{BranchIDs: c.BranchIDs[:0]}
+	if err := pls.DecodeTreeCertInto(r, &c.Tree); err != nil {
+		return err
+	}
+	var err error
 	if c.K5, err = r.ReadBit(); err != nil {
-		return nil, err
+		return err
 	}
 	want := 6
 	if c.K5 {
@@ -102,13 +113,13 @@ func DecodeNonPlanarCert(r *bits.Reader) (*NonPlanarCert, error) {
 	for i := 0; i < want; i++ {
 		v, err := r.ReadVar()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.BranchIDs = append(c.BranchIDs, graph.ID(v))
 	}
 	role, err := r.ReadUint(2)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	c.Role = Role(role)
 	switch c.Role {
@@ -116,35 +127,35 @@ func DecodeNonPlanarCert(r *bits.Reader) (*NonPlanarCert, error) {
 	case RoleBranch:
 		v, err := r.ReadUint(3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.BranchIdx = uint8(v)
 	case RoleInterior:
 		a, err := r.ReadUint(3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b, err := r.ReadUint(3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.PathA, c.PathB = uint8(a), uint8(b)
 		if c.Pos, err = r.ReadVar(); err != nil {
-			return nil, err
+			return err
 		}
 		p, err := r.ReadVar()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nx, err := r.ReadVar()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.PrevID, c.NextID = graph.ID(p), graph.ID(nx)
 	default:
-		return nil, fmt.Errorf("core: invalid role %d", role)
+		return fmt.Errorf("core: invalid role %d", role)
 	}
-	return c, nil
+	return nil
 }
 
 // NonPlanarScheme is the proof-labeling scheme for the class of NON-planar
@@ -272,36 +283,48 @@ func requiredPeers(k5 bool, b uint8) []uint8 {
 	return []uint8{0, 1, 2}
 }
 
+// containsID reports whether id occurs in ids (at most 6 entries — the
+// branch list — so a scan beats any set structure).
+func containsID(ids []graph.ID, id graph.ID) bool {
+	for _, b := range ids {
+		if b == id {
+			return true
+		}
+	}
+	return false
+}
+
 // Verify implements pls.Scheme.
 func (NonPlanarScheme) Verify(view dist.View) error {
-	self, err := DecodeNonPlanarCert(view.Cert.Reader())
-	if err != nil {
+	sc := npScratchFor(view)
+	sc.reset(len(view.Neighbors))
+	view.Cert.ResetReader(&sc.r)
+	if err := decodeNonPlanarCertInto(&sc.r, &sc.self); err != nil {
 		return err
 	}
+	self := &sc.self
 	if self.Tree.SelfID != view.ID {
 		return fmt.Errorf("core: certificate claims ID %d, node is %d", self.Tree.SelfID, view.ID)
 	}
-	nbrs := make(map[graph.ID]*NonPlanarCert, len(view.Neighbors))
-	treeNbrs := make([]*pls.TreeCert, 0, len(view.Neighbors))
-	for _, nb := range view.Neighbors {
-		c, err := DecodeNonPlanarCert(nb.Cert.Reader())
-		if err != nil {
+	for i := range view.Neighbors {
+		c := &sc.nbrs[i]
+		view.Neighbors[i].Cert.ResetReader(&sc.r)
+		if err := decodeNonPlanarCertInto(&sc.r, c); err != nil {
 			return err
 		}
-		if c.Tree.SelfID != nb.ID {
+		if c.Tree.SelfID != view.Neighbors[i].ID {
 			return fmt.Errorf("core: neighbor certificate ID mismatch")
 		}
-		nbrs[nb.ID] = c
-		treeNbrs = append(treeNbrs, &c.Tree)
+		sc.treeNbrs = append(sc.treeNbrs, &c.Tree)
 	}
-	if err := pls.VerifyTreeCert(&self.Tree, view.ID, view.Degree, treeNbrs); err != nil {
+	if err := pls.VerifyTreeCert(&self.Tree, view.ID, view.Degree, sc.treeNbrs); err != nil {
 		return err
 	}
 	// Global consistency of the witness description (in view order, so a
 	// node with several disagreeing neighbors reports the same one every
 	// run).
-	for _, nb := range view.Neighbors {
-		id, nc := nb.ID, nbrs[nb.ID]
+	for i := range view.Neighbors {
+		id, nc := view.Neighbors[i].ID, &sc.nbrs[i]
 		if nc.K5 != self.K5 {
 			return fmt.Errorf("core: neighbor %d disagrees on witness kind", id)
 		}
@@ -312,12 +335,10 @@ func (NonPlanarScheme) Verify(view dist.View) error {
 		}
 	}
 	// Branch identifiers must be pairwise distinct.
-	seenB := make(map[graph.ID]bool, len(self.BranchIDs))
-	for _, id := range self.BranchIDs {
-		if seenB[id] {
+	for i, id := range self.BranchIDs {
+		if containsID(self.BranchIDs[:i], id) {
 			return fmt.Errorf("core: duplicate branch ID %d", id)
 		}
-		seenB[id] = true
 	}
 	// The spanning-tree root must be branch 0, so the subdivision actually
 	// lives in this network.
@@ -327,7 +348,7 @@ func (NonPlanarScheme) Verify(view dist.View) error {
 
 	switch self.Role {
 	case RoleNone:
-		if seenB[view.ID] {
+		if containsID(self.BranchIDs, view.ID) {
 			return fmt.Errorf("core: node %d is listed as a branch but has role none", view.ID)
 		}
 		return nil
@@ -346,7 +367,8 @@ func (NonPlanarScheme) Verify(view dist.View) error {
 				lo, hi = hi, lo
 			}
 			found := false
-			for _, nc := range nbrs {
+			for i := range sc.nbrs {
+				nc := &sc.nbrs[i]
 				if nc.Role == RoleBranch && nc.BranchIdx == peer {
 					found = true // direct branch-branch edge
 					break
@@ -371,7 +393,7 @@ func (NonPlanarScheme) Verify(view dist.View) error {
 		return nil
 
 	case RoleInterior:
-		if seenB[view.ID] {
+		if containsID(self.BranchIDs, view.ID) {
 			return fmt.Errorf("core: interior node %d is listed as a branch", view.ID)
 		}
 		lo, hi := self.PathA, self.PathB
@@ -388,9 +410,9 @@ func (NonPlanarScheme) Verify(view dist.View) error {
 		if self.PrevID == self.NextID {
 			return fmt.Errorf("core: prev and next coincide")
 		}
-		prev, okP := nbrs[self.PrevID]
-		next, okN := nbrs[self.NextID]
-		if !okP || !okN {
+		prev := sc.byID(view, self.PrevID)
+		next := sc.byID(view, self.NextID)
+		if prev == nil || next == nil {
 			return fmt.Errorf("core: prev/next not neighbors")
 		}
 		// Previous on the path: interior at Pos-1, or branch lo if Pos==1.

@@ -131,7 +131,7 @@ func (OuterplanarScheme) Verify(view dist.View) error {
 		return err
 	}
 	for _, r := range st.MyCopies {
-		if iv, ok := st.Claims[r]; ok && iv.IsSentinel(st.N2) {
+		if iv, ok := st.claim(r); ok && iv.IsSentinel(st.N2) {
 			return nil
 		}
 	}

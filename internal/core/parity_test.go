@@ -1,0 +1,177 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/planarcert/planarcert/internal/bits"
+	"github.com/planarcert/planarcert/internal/core"
+	"github.com/planarcert/planarcert/internal/dist"
+	"github.com/planarcert/planarcert/internal/gen"
+	"github.com/planarcert/planarcert/internal/graph"
+	"github.com/planarcert/planarcert/internal/pls"
+)
+
+// viewsOf assembles every node's 1-round view of certs over g, with no
+// scratch attached (the caller decides).
+func viewsOf(g *graph.Graph, certs map[graph.ID]bits.Certificate) []dist.View {
+	views := make([]dist.View, g.N())
+	for u := 0; u < g.N(); u++ {
+		nbrs := g.Neighbors(u)
+		ncs := make([]dist.NeighborCert, len(nbrs))
+		for i, v := range nbrs {
+			ncs[i] = dist.NeighborCert{ID: g.IDOf(v), Cert: certs[g.IDOf(v)]}
+		}
+		views[u] = dist.View{
+			ID:        g.IDOf(u),
+			Degree:    len(nbrs),
+			Cert:      certs[g.IDOf(u)],
+			Neighbors: ncs,
+		}
+	}
+	return views
+}
+
+// verdictOf runs one node's verification and flattens the result —
+// accept, a rejection reason, or a contained panic — into a string, the
+// exact observable the engine reports per node.
+func verdictOf(scheme pls.Scheme, v dist.View) (s string) {
+	defer func() {
+		if r := recover(); r != nil {
+			s = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	if err := scheme.Verify(v); err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+// TestDecodeParityAllSchemes is the decode-parity battery of the
+// allocation-free hot path: for every scheme, verifying a node with the
+// pooled per-worker scratch must produce a verdict — accept, or reject
+// with the identical reason string — equal to verifying with fresh
+// allocations (a nil View.Scratch). One scratch instance is reused
+// across every node, corpus entry, graph, and scheme, so each
+// verification runs against maximally stale scratch contents: any state
+// leaking from one decode into the next shows up as a verdict diff.
+func TestDecodeParityAllSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shared := new(dist.Scratch) // deliberately never reset between uses
+	cases := []struct {
+		name      string
+		scheme    pls.Scheme
+		member    *graph.Graph
+		nonMember *graph.Graph
+	}{
+		{
+			name:      "planarity",
+			scheme:    core.PlanarScheme{},
+			member:    gen.Grid(4, 4),
+			nonMember: withExtraNodes(gen.Complete(5), 11),
+		},
+		{
+			name:      "outerplanarity",
+			scheme:    core.OuterplanarScheme{},
+			member:    gen.RandomOuterplanar(16, 0.6, rng),
+			nonMember: gen.Wheel(16),
+		},
+		{
+			name:      "non-planarity",
+			scheme:    core.NonPlanarScheme{},
+			member:    withExtraNodes(gen.Complete(5), 11),
+			nonMember: gen.Grid(4, 4),
+		},
+		{
+			name:      "path-outerplanar",
+			scheme:    core.POScheme{},
+			member:    gen.RandomPathOuterplanar(16, 0.5, rng),
+			nonMember: gen.Star(16),
+		},
+		{
+			name:      "spanning-tree",
+			scheme:    pls.SpanningTreeScheme{},
+			member:    gen.Grid(4, 4),
+			nonMember: gen.Star(16),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			honest, err := tc.scheme.Prove(tc.member)
+			if err != nil {
+				t.Fatalf("prover: %v", err)
+			}
+			// Corpus: the honest certificates, many corrupted variants
+			// (bit flips, truncations, extensions, wholesale replacements),
+			// and a node-swapped assignment.
+			corpora := []map[graph.ID]bits.Certificate{honest}
+			for trial := 0; trial < 60; trial++ {
+				corpora = append(corpora, corrupt(honest, rng))
+			}
+			if sw := swapTwo(honest, rng); sw != nil {
+				corpora = append(corpora, sw)
+			}
+			// Each corpus entry is replayed on the member and — the
+			// adversarial case — on a non-member with different topology.
+			for gi, g := range []*graph.Graph{tc.member, tc.nonMember} {
+				for ci, certs := range corpora {
+					for _, v := range viewsOf(g, certs) {
+						fresh := verdictOf(tc.scheme, v)
+						pv := v
+						pv.Scratch = shared
+						pooled := verdictOf(tc.scheme, pv)
+						if fresh != pooled {
+							t.Fatalf("graph %d corpus %d node %d: fresh verdict %q != pooled verdict %q",
+								gi, ci, v.ID, fresh, pooled)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeParityEngineSweep runs whole sweeps through the engine —
+// the path that actually wires pooled scratch into verification — and
+// checks the Outcome (accept set and reasons) against a fresh-scratch
+// per-node baseline.
+func TestDecodeParityEngineSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := gen.Grid(5, 5)
+	scheme := core.PlanarScheme{}
+	honest, err := scheme.Prove(g)
+	if err != nil {
+		t.Fatalf("prover: %v", err)
+	}
+	pool := dist.NewScratchPool()
+	for trial := 0; trial < 40; trial++ {
+		certs := honest
+		if trial > 0 {
+			certs = corrupt(honest, rng)
+		}
+		// Engine sweep with a shared pool (sequential and parallel).
+		for _, opt := range [][]dist.Option{
+			{dist.Sequential(), dist.WithScratch(pool)},
+			{dist.Parallel(4), dist.ShardSize(4), dist.WithScratch(pool)},
+		} {
+			out := dist.NewEngine(g, opt...).RunPLS(certs, scheme.Verify)
+			for _, v := range viewsOf(g, certs) {
+				want := verdictOf(scheme, v)
+				got := ""
+				if r, ok := out.Reasons[v.ID]; ok {
+					got = r
+				}
+				if want != got {
+					// The engine wraps contained panics in its own prefix;
+					// verdict parity then means "both panicked".
+					if strings.HasPrefix(want, "panic: ") && strings.Contains(got, "panicked") {
+						continue
+					}
+					t.Fatalf("trial %d node %d: engine verdict %q != fresh verdict %q", trial, v.ID, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/planarcert/planarcert/internal/graph"
@@ -139,6 +141,15 @@ type PONodeView struct {
 // boundary simulation of the virtual vertices 0 and N+1 performed by the
 // vertices of rank 1 and N. A nil return means the node accepts.
 func VerifyPONode(v PONodeView) error {
+	var ns poNodeScratch
+	return verifyPONode(v, &ns)
+}
+
+// verifyPONode is VerifyPONode decoding into reusable scratch: the
+// planarity verifier calls it once per copy (2n-1 times across a
+// sweep), so its split/sort buffers and duplicate-rank set live in ns
+// instead of being allocated per call.
+func verifyPONode(v PONodeView, ns *poNodeScratch) error {
 	n := v.N
 	x := v.Rank
 	if x < 1 || x > n {
@@ -148,16 +159,17 @@ func VerifyPONode(v PONodeView) error {
 
 	// Split neighbors into left (descending) and right (ascending), with
 	// the virtual neighbors of the boundary vertices appended.
-	var left, right []PONeighbor
-	seen := make(map[int]bool, len(v.Neighbors)+2)
+	left, right := ns.left[:0], ns.right[:0]
+	seen := &ns.seen
+	seen.reset()
 	for _, nb := range v.Neighbors {
 		if nb.Rank < 1 || nb.Rank > n || nb.Rank == x {
 			return fmt.Errorf("core: neighbor rank %d invalid next to %d", nb.Rank, x)
 		}
-		if seen[nb.Rank] {
+		if _, dup := seen.get(nb.Rank); dup {
 			return fmt.Errorf("core: duplicate neighbor rank %d", nb.Rank)
 		}
-		seen[nb.Rank] = true
+		seen.put(nb.Rank, struct{}{})
 		if nb.Rank < x {
 			left = append(left, nb)
 		} else {
@@ -172,8 +184,9 @@ func VerifyPONode(v PONodeView) error {
 	if x == n {
 		right = append(right, virtualHigh)
 	}
-	sort.Slice(left, func(i, j int) bool { return left[i].Rank > left[j].Rank })    // x-_0 > x-_1 > ...
-	sort.Slice(right, func(i, j int) bool { return right[i].Rank < right[j].Rank }) // x+_0 < x+_1 < ...
+	ns.left, ns.right = left, right // keep any growth for the next call
+	slices.SortFunc(left, func(a, b PONeighbor) int { return cmp.Compare(b.Rank, a.Rank) })  // x-_0 > x-_1 > ...
+	slices.SortFunc(right, func(a, b PONeighbor) int { return cmp.Compare(a.Rank, b.Rank) }) // x+_0 < x+_1 < ...
 
 	// Spanning-path adjacency (part of the paper's line 3): x must be
 	// adjacent to ranks x-1 and x+1 (virtual at the boundary).
@@ -248,7 +261,8 @@ func VerifyPONode(v PONodeView) error {
 		default:
 			continue
 		}
-		adjacent := seen[other] ||
+		_, isNbr := seen.get(other)
+		adjacent := isNbr ||
 			(x == 1 && other == 0) || (x == n && other == n+1) ||
 			other == x-1 || other == x+1
 		// Note: ranks x-1 and x+1 are always neighbors (checked above), and

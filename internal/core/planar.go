@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/planarcert/planarcert/internal/bits"
 	"github.com/planarcert/planarcert/internal/dist"
@@ -104,10 +105,12 @@ func (e *EdgeCert) encode(w *bits.Writer, rankWidth int) error {
 	return nil
 }
 
-func decodeEdgeCert(r *bits.Reader, rankWidth int) (*EdgeCert, error) {
+// decodeEdgeCertInto reads one edge certificate from r into e, which
+// may be a fresh object or a slab entry about to be reused.
+func decodeEdgeCertInto(r *bits.Reader, rankWidth int, e *EdgeCert) error {
 	isTree, err := r.ReadBit()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	readRank := func() (int, error) {
 		v, err := r.ReadUint(rankWidth)
@@ -124,53 +127,53 @@ func decodeEdgeCert(r *bits.Reader, rankWidth int) (*EdgeCert, error) {
 		}
 		return Interval{A: a, B: b}, nil
 	}
-	e := &EdgeCert{IsTree: isTree}
+	*e = EdgeCert{IsTree: isTree}
 	if isTree {
 		p, err := r.ReadVar()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c, err := r.ReadVar()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.ParentID, e.ChildID = graph.ID(p), graph.ID(c)
-		ranks := []*int{&e.PA, &e.CMin, &e.CMax, &e.PB}
+		ranks := [...]*int{&e.PA, &e.CMin, &e.CMax, &e.PB}
 		for _, dst := range ranks {
 			if *dst, err = readRank(); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		ivs := []*Interval{&e.IPA, &e.ICMin, &e.ICMax, &e.IPB}
+		ivs := [...]*Interval{&e.IPA, &e.ICMin, &e.ICMax, &e.IPB}
 		for _, dst := range ivs {
 			if *dst, err = readIv(); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		return e, nil
+		return nil
 	}
 	u, err := r.ReadVar()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	v, err := r.ReadVar()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	e.IDU, e.IDV = graph.ID(u), graph.ID(v)
 	if e.RankU, err = readRank(); err != nil {
-		return nil, err
+		return err
 	}
 	if e.RankV, err = readRank(); err != nil {
-		return nil, err
+		return err
 	}
 	if e.IU, err = readIv(); err != nil {
-		return nil, err
+		return err
 	}
 	if e.IV, err = readIv(); err != nil {
-		return nil, err
+		return err
 	}
-	return e, nil
+	return nil
 }
 
 // PlanarCert is the full node certificate of Theorem 1: the spanning-tree
@@ -205,29 +208,52 @@ func (c *PlanarCert) Encode(w *bits.Writer) error {
 	return nil
 }
 
-// DecodePlanarCert reads a PlanarCert.
+// DecodePlanarCert reads a PlanarCert into fresh objects.
 func DecodePlanarCert(r *bits.Reader) (*PlanarCert, error) {
-	tc, err := pls.DecodeTreeCert(r)
-	if err != nil {
+	c := new(PlanarCert)
+	if err := decodePlanarCertInto(r, c, nil); err != nil {
 		return nil, err
+	}
+	return c, nil
+}
+
+// decodePlanarCertInto reads a PlanarCert into c, carving the edge
+// certificates out of sc's slab when sc is non-nil and allocating them
+// fresh otherwise. Both paths run the identical decode logic, so pooled
+// and fresh decoding cannot diverge.
+func decodePlanarCertInto(r *bits.Reader, c *PlanarCert, sc *planarScratch) error {
+	if err := pls.DecodeTreeCertInto(r, &c.Tree); err != nil {
+		return err
 	}
 	cnt, err := r.ReadUint(3)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if cnt > MaxEdgeCerts {
-		return nil, fmt.Errorf("core: %d edge certificates exceed the cap %d", cnt, MaxEdgeCerts)
+		return fmt.Errorf("core: %d edge certificates exceed the cap %d", cnt, MaxEdgeCerts)
 	}
-	c := &PlanarCert{Tree: *tc}
-	rw := rankWidth(tc.N)
-	for i := uint64(0); i < cnt; i++ {
-		e, err := decodeEdgeCert(r, rw)
-		if err != nil {
-			return nil, err
+	rw := rankWidth(c.Tree.N)
+	if sc == nil {
+		c.Edges = nil
+		for i := uint64(0); i < cnt; i++ {
+			e := new(EdgeCert)
+			if err := decodeEdgeCertInto(r, rw, e); err != nil {
+				return err
+			}
+			c.Edges = append(c.Edges, e)
 		}
-		c.Edges = append(c.Edges, e)
+		return nil
 	}
-	return c, nil
+	start := len(sc.edgePtrs)
+	for i := uint64(0); i < cnt; i++ {
+		e := sc.newEdgeCert()
+		if err := decodeEdgeCertInto(r, rw, e); err != nil {
+			return err
+		}
+		sc.edgePtrs = append(sc.edgePtrs, e)
+	}
+	c.Edges = sc.edgePtrs[start:len(sc.edgePtrs):len(sc.edgePtrs)]
+	return nil
 }
 
 // PlanarScheme is the 1-round proof-labeling scheme for planarity of
@@ -363,45 +389,73 @@ func (PlanarScheme) Verify(view dist.View) error {
 }
 
 // planarVerifyState exposes the reconstruction computed by Algorithm 2 so
-// that derived schemes (outerplanarity) can add further local checks.
+// that derived schemes (outerplanarity) can add further local checks. It
+// aliases the verifier's scratch, so it is only valid until the next
+// verification on the same worker — callers needing to retain it must
+// copy (see VerifyPlanarNoCounters).
 type planarVerifyState struct {
 	N2       int
 	MyCopies []int
-	Claims   map[int]Interval
+	claims   *rankMap[Interval]
+}
+
+// claim returns the interval claimed for rank r, if any.
+func (st *planarVerifyState) claim(r int) (Interval, bool) { return st.claims.get(r) }
+
+// childInfo records one child edge certificate during reconstruction.
+type childInfo struct {
+	id                 graph.ID
+	pa, cMin, cMax, pb int
+}
+
+// nbrPos returns the view position of the neighbor with the given ID,
+// or -1 (replaces the per-node map keyed by neighbor ID; a node looks up
+// at most MaxEdgeCerts IDs per verification).
+func nbrPos(nbrs []dist.NeighborCert, id graph.ID) int {
+	for i := range nbrs {
+		if nbrs[i].ID == id {
+			return i
+		}
+	}
+	return -1
 }
 
 // verifyPlanarCore runs Algorithm 2 and returns the reconstructed local
 // state on acceptance.
-func verifyPlanarCore(view dist.View) (*planarVerifyState, error) {
+func verifyPlanarCore(view dist.View) (planarVerifyState, error) {
 	return verifyPlanarCoreOpts(view, true)
 }
 
 // verifyPlanarCoreOpts optionally skips the deterministic size counters
 // (subtree sizes and rank spans); the interactive baseline certifies the
 // global rank partition with fingerprints instead.
-func verifyPlanarCoreOpts(view dist.View, withSizes bool) (*planarVerifyState, error) {
+func verifyPlanarCoreOpts(view dist.View, withSizes bool) (planarVerifyState, error) {
+	var none planarVerifyState
+	sc := planarScratchFor(view)
+	sc.reset(len(view.Neighbors))
+
 	// Phase 0: decode everything.
-	self, err := DecodePlanarCert(view.Cert.Reader())
-	if err != nil {
-		return nil, err
+	view.Cert.ResetReader(&sc.r)
+	if err := decodePlanarCertInto(&sc.r, &sc.self, sc); err != nil {
+		return none, err
 	}
+	self := &sc.self
 	myID := view.ID
 	if self.Tree.SelfID != myID {
-		return nil, fmt.Errorf("core: certificate claims ID %d, node is %d", self.Tree.SelfID, myID)
+		return none, fmt.Errorf("core: certificate claims ID %d, node is %d", self.Tree.SelfID, myID)
 	}
-	nbrs := make(map[graph.ID]*PlanarCert, len(view.Neighbors))
-	treeNbrs := make([]*pls.TreeCert, 0, len(view.Neighbors))
-	for _, nb := range view.Neighbors {
-		c, err := DecodePlanarCert(nb.Cert.Reader())
-		if err != nil {
-			return nil, err
+	for i := range view.Neighbors {
+		nb := &view.Neighbors[i]
+		c := &sc.nbrs[i]
+		nb.Cert.ResetReader(&sc.r)
+		if err := decodePlanarCertInto(&sc.r, c, sc); err != nil {
+			return none, err
 		}
 		if c.Tree.SelfID != nb.ID {
-			return nil, fmt.Errorf("core: neighbor certificate claims ID %d, neighbor is %d",
+			return none, fmt.Errorf("core: neighbor certificate claims ID %d, neighbor is %d",
 				c.Tree.SelfID, nb.ID)
 		}
-		nbrs[nb.ID] = c
-		treeNbrs = append(treeNbrs, &c.Tree)
+		sc.treeNbrs = append(sc.treeNbrs, &c.Tree)
 	}
 
 	// Phase 2a (paper order keeps this before the PO simulation): spanning
@@ -410,97 +464,103 @@ func verifyPlanarCoreOpts(view dist.View, withSizes bool) (*planarVerifyState, e
 	if withSizes {
 		treeCheck = pls.VerifyTreeCert
 	}
-	if err := treeCheck(&self.Tree, myID, view.Degree, treeNbrs); err != nil {
-		return nil, err
+	if err := treeCheck(&self.Tree, myID, view.Degree, sc.treeNbrs); err != nil {
+		return none, err
 	}
 	n := int(self.Tree.N)
 	n2 := 2*n - 1
 
 	if n == 1 {
 		if view.Degree != 0 {
-			return nil, fmt.Errorf("core: n=1 claimed with degree %d", view.Degree)
+			return none, fmt.Errorf("core: n=1 claimed with degree %d", view.Degree)
 		}
-		return &planarVerifyState{N2: 1, MyCopies: []int{1}, Claims: map[int]Interval{1: Sentinel(1)}}, nil
+		sc.copies = append(sc.copies, 1)
+		sc.claims.put(1, Sentinel(1))
+		return planarVerifyState{N2: 1, MyCopies: sc.copies, claims: &sc.claims}, nil
 	}
 
 	// Phase 1: recover the edge certificates of all incident edges. Each
 	// incident edge {me, y} must have exactly one certificate among those
-	// stored at me and at my neighbors.
-	edgeCerts := make(map[graph.ID][]*EdgeCert, view.Degree)
+	// stored at me and at my neighbors (counted per view position in
+	// sc.edgeCnt, with the first recovered certificate in sc.edgeOne).
 	for _, ec := range self.Edges {
 		if !ec.Involves(myID) {
-			return nil, fmt.Errorf("core: stored certificate for foreign edge")
+			return none, fmt.Errorf("core: stored certificate for foreign edge")
 		}
 		other := ec.Other(myID)
-		if _, ok := nbrs[other]; !ok {
-			return nil, fmt.Errorf("core: stored certificate for non-existent edge to %d", other)
+		j := nbrPos(view.Neighbors, other)
+		if j < 0 {
+			return none, fmt.Errorf("core: stored certificate for non-existent edge to %d", other)
 		}
-		edgeCerts[other] = append(edgeCerts[other], ec)
+		if sc.edgeOne[j] == nil {
+			sc.edgeOne[j] = ec
+		}
+		sc.edgeCnt[j]++
 	}
-	for _, nb := range view.Neighbors {
-		nbID := nb.ID
-		for _, ec := range nbrs[nbID].Edges {
+	for i := range view.Neighbors {
+		nbID := view.Neighbors[i].ID
+		for _, ec := range sc.nbrs[i].Edges {
 			if !ec.Involves(nbID) {
-				return nil, fmt.Errorf("core: neighbor %d stores certificate for a foreign edge", nbID)
+				return none, fmt.Errorf("core: neighbor %d stores certificate for a foreign edge", nbID)
 			}
 			if !ec.Involves(myID) {
 				continue // about one of the neighbor's other edges
 			}
-			edgeCerts[nbID] = append(edgeCerts[nbID], ec)
+			if sc.edgeOne[i] == nil {
+				sc.edgeOne[i] = ec
+			}
+			sc.edgeCnt[i]++
 		}
 	}
-	for _, nb := range view.Neighbors {
-		if len(edgeCerts[nb.ID]) != 1 {
-			return nil, fmt.Errorf("core: edge {%d,%d} has %d certificates, want exactly 1",
-				myID, nb.ID, len(edgeCerts[nb.ID]))
+	for i := range view.Neighbors {
+		if sc.edgeCnt[i] != 1 {
+			return none, fmt.Errorf("core: edge {%d,%d} has %d certificates, want exactly 1",
+				myID, view.Neighbors[i].ID, sc.edgeCnt[i])
 		}
 	}
 
 	// Phase 2b: classify each incident edge and check consistency with the
 	// spanning-tree certificates; collect rank/interval claims.
-	claims := make(map[int]Interval) // rank -> interval (conflicts reject)
 	claim := func(rank int, iv Interval) error {
 		if rank < 1 || rank > n2 {
 			return fmt.Errorf("core: rank %d outside [1,%d]", rank, n2)
 		}
-		if prev, ok := claims[rank]; ok && prev != iv {
-			return fmt.Errorf("core: conflicting intervals %v and %v for rank %d", prev, iv, rank)
+		if prev, ok := sc.claims.get(rank); ok {
+			if prev != iv {
+				return fmt.Errorf("core: conflicting intervals %v and %v for rank %d", prev, iv, rank)
+			}
+			return nil
 		}
-		claims[rank] = iv
+		sc.claims.put(rank, iv)
 		return nil
 	}
 
-	type childInfo struct {
-		id                 graph.ID
-		pa, cMin, cMax, pb int
-	}
-	var children []childInfo
 	var parentEC *EdgeCert
 	iAmRoot := self.Tree.Dist == 0
 
 	// Iterate incident edges in view order (not map order) so rejection
 	// reasons are deterministic across runs and execution modes.
-	for _, nb := range view.Neighbors {
-		nbID := nb.ID
-		ec := edgeCerts[nbID][0]
-		nbCert := nbrs[nbID]
+	for i := range view.Neighbors {
+		nbID := view.Neighbors[i].ID
+		ec := sc.edgeOne[i]
+		nbCert := &sc.nbrs[i]
 		nbIsMyChild := nbCert.Tree.Parent == myID && nbCert.Tree.Dist == self.Tree.Dist+1
 		nbIsMyParent := self.Tree.Parent == nbID
 		if ec.IsTree {
 			switch {
 			case nbIsMyChild:
 				if ec.ParentID != myID || ec.ChildID != nbID {
-					return nil, fmt.Errorf("core: tree certificate for child %d has wrong orientation", nbID)
+					return none, fmt.Errorf("core: tree certificate for child %d has wrong orientation", nbID)
 				}
 			case nbIsMyParent:
 				if ec.ParentID != nbID || ec.ChildID != myID {
-					return nil, fmt.Errorf("core: tree certificate for parent %d has wrong orientation", nbID)
+					return none, fmt.Errorf("core: tree certificate for parent %d has wrong orientation", nbID)
 				}
 			default:
-				return nil, fmt.Errorf("core: tree certificate for non-tree edge {%d,%d}", myID, nbID)
+				return none, fmt.Errorf("core: tree certificate for non-tree edge {%d,%d}", myID, nbID)
 			}
 			if ec.PA+1 != ec.CMin || ec.CMax+1 != ec.PB || ec.CMin > ec.CMax {
-				return nil, fmt.Errorf("core: tree certificate ranks (%d,%d,%d,%d) inconsistent",
+				return none, fmt.Errorf("core: tree certificate ranks (%d,%d,%d,%d) inconsistent",
 					ec.PA, ec.CMin, ec.CMax, ec.PB)
 			}
 			// Rank span encodes the child's subtree size.
@@ -509,7 +569,7 @@ func verifyPlanarCoreOpts(view dist.View, withSizes bool) (*planarVerifyState, e
 				childSize = self.Tree.Size
 			}
 			if withSizes && uint64(ec.CMax-ec.CMin+1) != 2*childSize-1 {
-				return nil, fmt.Errorf("core: rank span [%d,%d] does not match subtree size %d",
+				return none, fmt.Errorf("core: rank span [%d,%d] does not match subtree size %d",
 					ec.CMin, ec.CMax, childSize)
 			}
 			for _, ri := range [4]struct {
@@ -517,11 +577,11 @@ func verifyPlanarCoreOpts(view dist.View, withSizes bool) (*planarVerifyState, e
 				iv   Interval
 			}{{ec.PA, ec.IPA}, {ec.CMin, ec.ICMin}, {ec.CMax, ec.ICMax}, {ec.PB, ec.IPB}} {
 				if err := claim(ri.rank, ri.iv); err != nil {
-					return nil, err
+					return none, err
 				}
 			}
 			if nbIsMyChild {
-				children = append(children, childInfo{
+				sc.children = append(sc.children, childInfo{
 					id: nbID, pa: ec.PA, cMin: ec.CMin, cMax: ec.CMax, pb: ec.PB,
 				})
 			} else {
@@ -529,135 +589,139 @@ func verifyPlanarCoreOpts(view dist.View, withSizes bool) (*planarVerifyState, e
 			}
 		} else {
 			if nbIsMyChild || nbIsMyParent {
-				return nil, fmt.Errorf("core: cotree certificate for tree edge {%d,%d}", myID, nbID)
+				return none, fmt.Errorf("core: cotree certificate for tree edge {%d,%d}", myID, nbID)
 			}
-			wantIDs := map[graph.ID]bool{myID: true, nbID: true}
-			if !wantIDs[ec.IDU] || !wantIDs[ec.IDV] || ec.IDU == ec.IDV {
-				return nil, fmt.Errorf("core: cotree certificate IDs (%d,%d) mismatch edge {%d,%d}",
+			wantID := func(id graph.ID) bool { return id == myID || id == nbID }
+			if !wantID(ec.IDU) || !wantID(ec.IDV) || ec.IDU == ec.IDV {
+				return none, fmt.Errorf("core: cotree certificate IDs (%d,%d) mismatch edge {%d,%d}",
 					ec.IDU, ec.IDV, myID, nbID)
 			}
 			if ec.RankU == ec.RankV {
-				return nil, fmt.Errorf("core: cotree certificate with equal ranks %d", ec.RankU)
+				return none, fmt.Errorf("core: cotree certificate with equal ranks %d", ec.RankU)
 			}
 			if err := claim(ec.RankU, ec.IU); err != nil {
-				return nil, err
+				return none, err
 			}
 			if err := claim(ec.RankV, ec.IV); err != nil {
-				return nil, err
+				return none, err
 			}
 		}
 	}
 	if !iAmRoot && parentEC == nil {
-		return nil, fmt.Errorf("core: no tree certificate for my parent edge")
+		return none, fmt.Errorf("core: no tree certificate for my parent edge")
 	}
 	if iAmRoot && parentEC != nil {
-		return nil, fmt.Errorf("core: root has a parent edge certificate")
+		return none, fmt.Errorf("core: root has a parent edge certificate")
 	}
 
 	// Phase 2c: reconstruct my copies f^{-1}(me) = {i_1 < ... < i_d} and
 	// check that f is a DFS mapping (the checks of Section 3.3).
-	sort.Slice(children, func(i, j int) bool { return children[i].pa < children[j].pa })
+	slices.SortFunc(sc.children, func(a, b childInfo) int { return cmp.Compare(a.pa, b.pa) })
 	var first, last int
 	if iAmRoot {
 		first, last = 1, n2
 	} else {
 		first, last = parentEC.CMin, parentEC.CMax
 	}
-	myCopies := []int{first}
+	sc.copies = append(sc.copies, first)
 	cur := first
-	for _, ch := range children {
+	for _, ch := range sc.children {
 		if ch.pa != cur {
-			return nil, fmt.Errorf("core: child %d starts at parent copy %d, want %d", ch.id, ch.pa, cur)
+			return none, fmt.Errorf("core: child %d starts at parent copy %d, want %d", ch.id, ch.pa, cur)
 		}
 		cur = ch.pb
-		myCopies = append(myCopies, cur)
+		sc.copies = append(sc.copies, cur)
 	}
 	if cur != last {
-		return nil, fmt.Errorf("core: DFS mapping ends at %d, want %d", cur, last)
+		return none, fmt.Errorf("core: DFS mapping ends at %d, want %d", cur, last)
 	}
 	if withSizes && uint64(last-first+1) != 2*self.Tree.Size-1 {
-		return nil, fmt.Errorf("core: my rank span [%d,%d] does not match my subtree size %d",
+		return none, fmt.Errorf("core: my rank span [%d,%d] does not match my subtree size %d",
 			first, last, self.Tree.Size)
 	}
 
-	copySet := make(map[int]int, len(myCopies)) // rank -> copy index
-	for j, r := range myCopies {
-		copySet[r] = j
+	myCopies := sc.copies
+	for j, r := range myCopies { // rank -> copy index
+		sc.copyIdx.put(r, j)
 	}
 
 	// Cotree neighbors per copy, gathered in view order so the simulated
 	// PO views (and any rejection they produce) are deterministic.
-	cotreePerCopy := make(map[int][]PONeighbor)
-	for _, nb := range view.Neighbors {
-		nbID := nb.ID
-		ec := edgeCerts[nbID][0]
+	sc.cotreeFor(len(myCopies))
+	for i := range view.Neighbors {
+		nbID := view.Neighbors[i].ID
+		ec := sc.edgeOne[i]
 		if ec.IsTree {
 			continue
 		}
 		myRank, otherRank := ec.RankU, ec.RankV
-		myIv, otherIv := ec.IU, ec.IV
+		otherIv := ec.IV
 		if ec.IDU != myID {
 			myRank, otherRank = ec.RankV, ec.RankU
-			myIv, otherIv = ec.IV, ec.IU
+			otherIv = ec.IU
 		}
-		_ = myIv // consistency already enforced through claims
-		if _, ok := copySet[myRank]; !ok {
-			return nil, fmt.Errorf("core: cotree edge to %d attached at rank %d, not one of my copies",
+		// (my own interval's consistency is already enforced through claims)
+		j, ok := sc.copyIdx.get(myRank)
+		if !ok {
+			return none, fmt.Errorf("core: cotree edge to %d attached at rank %d, not one of my copies",
 				nbID, myRank)
 		}
-		if _, mine := copySet[otherRank]; mine {
-			return nil, fmt.Errorf("core: cotree edge to %d attached to two of my copies", nbID)
+		if _, mine := sc.copyIdx.get(otherRank); mine {
+			return none, fmt.Errorf("core: cotree edge to %d attached to two of my copies", nbID)
 		}
-		cotreePerCopy[myRank] = append(cotreePerCopy[myRank], PONeighbor{Rank: otherRank, I: otherIv})
+		sc.cotree[j] = append(sc.cotree[j], PONeighbor{Rank: otherRank, I: otherIv})
 	}
 
 	// Phase 3: simulate Algorithm 1 at every copy.
 	for j, r := range myCopies {
-		iv, ok := claims[r]
+		iv, ok := sc.claims.get(r)
 		if !ok {
-			return nil, fmt.Errorf("core: no interval claimed for my copy at rank %d", r)
+			return none, fmt.Errorf("core: no interval claimed for my copy at rank %d", r)
 		}
 		pv := PONodeView{N: n2, Rank: r, I: iv}
+		buf := sc.po.viewNbrs[:0]
 		// Left path neighbor (rank r-1).
 		if r > 1 {
 			var leftRank int
 			if j == 0 {
 				leftRank = parentEC.PA // first copy: predecessor is a parent copy
 			} else {
-				leftRank = children[j-1].cMax
+				leftRank = sc.children[j-1].cMax
 			}
 			if leftRank != r-1 {
-				return nil, fmt.Errorf("core: left path neighbor of rank %d is %d", r, leftRank)
+				return none, fmt.Errorf("core: left path neighbor of rank %d is %d", r, leftRank)
 			}
-			liv, ok := claims[leftRank]
+			liv, ok := sc.claims.get(leftRank)
 			if !ok {
-				return nil, fmt.Errorf("core: no interval for left path neighbor %d", leftRank)
+				return none, fmt.Errorf("core: no interval for left path neighbor %d", leftRank)
 			}
-			pv.Neighbors = append(pv.Neighbors, PONeighbor{Rank: leftRank, I: liv})
+			buf = append(buf, PONeighbor{Rank: leftRank, I: liv})
 		}
 		// Right path neighbor (rank r+1).
 		if r < n2 {
 			var rightRank int
-			if j < len(children) {
-				rightRank = children[j].cMin
+			if j < len(sc.children) {
+				rightRank = sc.children[j].cMin
 			} else {
 				rightRank = parentEC.PB
 			}
 			if rightRank != r+1 {
-				return nil, fmt.Errorf("core: right path neighbor of rank %d is %d", r, rightRank)
+				return none, fmt.Errorf("core: right path neighbor of rank %d is %d", r, rightRank)
 			}
-			riv, ok := claims[rightRank]
+			riv, ok := sc.claims.get(rightRank)
 			if !ok {
-				return nil, fmt.Errorf("core: no interval for right path neighbor %d", rightRank)
+				return none, fmt.Errorf("core: no interval for right path neighbor %d", rightRank)
 			}
-			pv.Neighbors = append(pv.Neighbors, PONeighbor{Rank: rightRank, I: riv})
+			buf = append(buf, PONeighbor{Rank: rightRank, I: riv})
 		}
-		pv.Neighbors = append(pv.Neighbors, cotreePerCopy[r]...)
-		if err := VerifyPONode(pv); err != nil {
-			return nil, fmt.Errorf("copy %d of node %d: %w", r, myID, err)
+		buf = append(buf, sc.cotree[j]...)
+		sc.po.viewNbrs = buf // keep any growth for the next copy
+		pv.Neighbors = buf
+		if err := verifyPONode(pv, &sc.po); err != nil {
+			return none, fmt.Errorf("copy %d of node %d: %w", r, myID, err)
 		}
 	}
-	return &planarVerifyState{N2: n2, MyCopies: myCopies, Claims: claims}, nil
+	return planarVerifyState{N2: n2, MyCopies: myCopies, claims: &sc.claims}, nil
 }
 
 var _ pls.Scheme = PlanarScheme{}
@@ -673,11 +737,18 @@ type PlanarState struct {
 // VerifyPlanarNoCounters runs Algorithm 2 WITHOUT the deterministic
 // subtree-size counters (sizes and rank spans). The interactive dMAM
 // baseline uses it and certifies the global rank partition with
-// randomized fingerprints instead.
+// randomized fingerprints instead. The returned state is a copy, safe
+// to retain after the verifier's scratch is reused.
 func VerifyPlanarNoCounters(view dist.View) (*PlanarState, error) {
 	st, err := verifyPlanarCoreOpts(view, false)
 	if err != nil {
 		return nil, err
 	}
-	return &PlanarState{N2: st.N2, MyCopies: st.MyCopies, Claims: st.Claims}, nil
+	out := &PlanarState{
+		N2:       st.N2,
+		MyCopies: append([]int(nil), st.MyCopies...),
+		Claims:   make(map[int]Interval),
+	}
+	st.claims.each(func(r int, iv Interval) { out.Claims[r] = iv })
+	return out, nil
 }

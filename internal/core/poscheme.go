@@ -31,22 +31,32 @@ func (c *POCert) Encode(w *bits.Writer) error {
 	return w.WriteUint(uint64(c.I.B), width)
 }
 
-// DecodePOCert reads a POCert.
+// DecodePOCert reads a POCert into a fresh object.
 func DecodePOCert(r *bits.Reader) (*POCert, error) {
-	tc, err := pls.DecodeTreeCert(r)
-	if err != nil {
+	c := new(POCert)
+	if err := decodePOCertInto(r, c); err != nil {
 		return nil, err
 	}
-	width := bits.WidthFor(tc.N + 1)
+	return c, nil
+}
+
+// decodePOCertInto reads a POCert into c, which may be a reused slab
+// entry.
+func decodePOCertInto(r *bits.Reader, c *POCert) error {
+	if err := pls.DecodeTreeCertInto(r, &c.Tree); err != nil {
+		return err
+	}
+	width := bits.WidthFor(c.Tree.N + 1)
 	a, err := r.ReadUint(width)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	b, err := r.ReadUint(width)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &POCert{Tree: *tc, I: Interval{A: int(a), B: int(b)}}, nil
+	c.I = Interval{A: int(a), B: int(b)}
+	return nil
 }
 
 // POScheme is the proof-labeling scheme for path-outerplanar graphs of
@@ -229,28 +239,29 @@ func (s POScheme) Prove(g *graph.Graph) (map[graph.ID]bits.Certificate, error) {
 // Verify implements pls.Scheme: spanning-path checks (a spanning tree in
 // which every node has at most one child) plus Algorithm 1.
 func (s POScheme) Verify(view dist.View) error {
-	self, err := DecodePOCert(view.Cert.Reader())
-	if err != nil {
+	sc := poScratchFor(view)
+	sc.reset(len(view.Neighbors))
+	view.Cert.ResetReader(&sc.r)
+	if err := decodePOCertInto(&sc.r, &sc.self); err != nil {
 		return err
 	}
-	nbrs := make([]*POCert, 0, len(view.Neighbors))
-	treeNbrs := make([]*pls.TreeCert, 0, len(view.Neighbors))
-	for _, nb := range view.Neighbors {
-		c, err := DecodePOCert(nb.Cert.Reader())
-		if err != nil {
+	self := &sc.self
+	for i := range view.Neighbors {
+		c := &sc.nbrs[i]
+		view.Neighbors[i].Cert.ResetReader(&sc.r)
+		if err := decodePOCertInto(&sc.r, c); err != nil {
 			return err
 		}
-		nbrs = append(nbrs, c)
-		treeNbrs = append(treeNbrs, &c.Tree)
+		sc.treeNbrs = append(sc.treeNbrs, &c.Tree)
 	}
-	if err := pls.VerifyTreeCert(&self.Tree, view.ID, view.Degree, treeNbrs); err != nil {
+	if err := pls.VerifyTreeCert(&self.Tree, view.ID, view.Degree, sc.treeNbrs); err != nil {
 		return err
 	}
 	// Path shape: at most one child in the certified spanning tree, and the
 	// subtree size of a path suffix pins the child count exactly.
 	children := 0
-	for _, nb := range nbrs {
-		if nb.Tree.Parent == self.Tree.SelfID && nb.Tree.Dist == self.Tree.Dist+1 {
+	for i := range sc.nbrs {
+		if sc.nbrs[i].Tree.Parent == self.Tree.SelfID && sc.nbrs[i].Tree.Dist == self.Tree.Dist+1 {
 			children++
 		}
 	}
@@ -268,10 +279,13 @@ func (s POScheme) Verify(view dist.View) error {
 		Rank: rank,
 		I:    self.I,
 	}
-	for _, nb := range nbrs {
-		pv.Neighbors = append(pv.Neighbors, PONeighbor{Rank: int(nb.Tree.Dist) + 1, I: nb.I})
+	buf := sc.po.viewNbrs[:0]
+	for i := range sc.nbrs {
+		buf = append(buf, PONeighbor{Rank: int(sc.nbrs[i].Tree.Dist) + 1, I: sc.nbrs[i].I})
 	}
-	return VerifyPONode(pv)
+	sc.po.viewNbrs = buf
+	pv.Neighbors = buf
+	return verifyPONode(pv, &sc.po)
 }
 
 var _ pls.Scheme = POScheme{}

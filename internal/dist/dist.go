@@ -16,11 +16,18 @@ type NeighborCert struct {
 // own identifier, degree and certificate, and one NeighborCert per
 // neighbor. Views handed out by the Engine alias shared arrays; verifiers
 // must not mutate Neighbors or retain it past the call.
+//
+// Scratch is the decode arena of the worker running this node's
+// verification (nil on views assembled outside the engine). Verifiers
+// may decode into it to stay allocation-free in steady state; they must
+// treat its contents as garbage on entry and must not retain anything
+// stored in it past the call.
 type View struct {
 	ID        graph.ID
 	Degree    int
 	Cert      bits.Certificate
 	Neighbors []NeighborCert
+	Scratch   *Scratch
 }
 
 // Outcome summarises one verification round over the whole network.

@@ -66,6 +66,7 @@ type Engine struct {
 	budget    *Budget
 	patience  time.Duration
 	span      *obs.Span
+	scratch   *ScratchPool
 }
 
 // Option configures an Engine at construction.
@@ -148,6 +149,15 @@ func (e *Engine) layoutFor() *layout {
 	return e.lay
 }
 
+// scratchPool returns the engine's scratch pool, creating a private one
+// on first use when WithScratch did not install a shared pool.
+func (e *Engine) scratchPool() *ScratchPool {
+	if e.scratch == nil {
+		e.scratch = NewScratchPool()
+	}
+	return e.scratch
+}
+
 func (e *Engine) parallel(n int) bool {
 	switch e.mode {
 	case modeSequential:
@@ -219,8 +229,11 @@ func (e *Engine) RunPLS(certs map[graph.ID]bits.Certificate, verify func(View) e
 }
 
 func (e *Engine) verifySequential(lay *layout, verify func(View) error) {
+	pool := e.scratchPool()
+	sc := pool.get()
+	defer pool.put(sc)
 	for u := 0; u < lay.n; u++ {
-		if err := verifyNode(lay, u, verify); err != nil {
+		if err := verifyNode(lay, u, sc, verify); err != nil {
 			lay.errs[u] = err
 			if e.failFast {
 				return
@@ -232,14 +245,14 @@ func (e *Engine) verifySequential(lay *layout, verify func(View) error) {
 func (e *Engine) verifyParallel(lay *layout, verify func(View) error, sweep *obs.Span) {
 	shard := e.shardSize
 	nshards := (lay.n + shard - 1) / shard
-	e.fanOut(nshards, sweep, func(s int) bool {
+	e.fanOut(nshards, sweep, func(s int, sc *Scratch) bool {
 		lo := s * shard
 		hi := lo + shard
 		if hi > lay.n {
 			hi = lay.n
 		}
 		for u := lo; u < hi; u++ {
-			if err := verifyNode(lay, u, verify); err != nil {
+			if err := verifyNode(lay, u, sc, verify); err != nil {
 				lay.errs[u] = err
 				if e.failFast {
 					return true
@@ -251,19 +264,24 @@ func (e *Engine) verifyParallel(lay *layout, verify func(View) error, sweep *obs
 }
 
 // fanOut drains nshards shards across worker 0 plus up to workers-1
-// extra workers; verifyShard handles one shard and reports whether the
-// sweep should stop early (fail-fast). Worker 0 always runs, so an
-// exhausted budget degrades the sweep to sequential execution instead
-// of stalling it; every extra worker needs a free budget slot at spawn
-// time (see Limit). The acquisition outcome is recorded on sweep's
-// budget-wait child span as wanted/granted/denied slot counts; with
-// BudgetPatience, a single late joiner waits (bounded, on the side) for
-// the next released slot and the span's duration measures that wait.
-func (e *Engine) fanOut(nshards int, sweep *obs.Span, verifyShard func(s int) bool) {
+// extra workers; verifyShard handles one shard with the worker's own
+// Scratch and reports whether the sweep should stop early (fail-fast).
+// Each worker borrows exactly one Scratch from the engine's pool for
+// the whole drain, so scratch state is worker-local by construction and
+// a sweep's scratch traffic is O(workers), not O(nodes). Worker 0
+// always runs, so an exhausted budget degrades the sweep to sequential
+// execution instead of stalling it; every extra worker needs a free
+// budget slot at spawn time (see Limit). The acquisition outcome is
+// recorded on sweep's budget-wait child span as wanted/granted/denied
+// slot counts; with BudgetPatience, a single late joiner waits
+// (bounded, on the side) for the next released slot and the span's
+// duration measures that wait.
+func (e *Engine) fanOut(nshards int, sweep *obs.Span, verifyShard func(s int, sc *Scratch) bool) {
 	workers := e.workers
 	if workers > nshards {
 		workers = nshards
 	}
+	pool := e.scratchPool()
 	var next atomic.Int64
 	var stop atomic.Bool
 	var wg sync.WaitGroup
@@ -275,6 +293,8 @@ func (e *Engine) fanOut(nshards int, sweep *obs.Span, verifyShard func(s int) bo
 	var doneOnce sync.Once
 	loop := func() {
 		defer doneOnce.Do(func() { close(done) })
+		sc := pool.get()
+		defer pool.put(sc)
 		for {
 			if e.failFast && stop.Load() {
 				return
@@ -283,7 +303,7 @@ func (e *Engine) fanOut(nshards int, sweep *obs.Span, verifyShard func(s int) bo
 			if s >= nshards {
 				return
 			}
-			if verifyShard(s) {
+			if verifyShard(s, sc) {
 				stop.Store(true)
 				return
 			}
@@ -348,9 +368,12 @@ func (e *Engine) fanOut(nshards int, sweep *obs.Span, verifyShard func(s int) bo
 	wg.Wait()
 }
 
-// verifyNode runs one node's local decision on its layout view.
-func verifyNode(lay *layout, u int, verify func(View) error) error {
-	return verifyView(lay.ids[u], lay.view(u), verify)
+// verifyNode runs one node's local decision on its layout view,
+// attaching the worker's scratch.
+func verifyNode(lay *layout, u int, sc *Scratch, verify func(View) error) error {
+	v := lay.view(u)
+	v.Scratch = sc
+	return verifyView(lay.ids[u], v, verify)
 }
 
 // verifyView runs one node's local decision, containing panics (a

@@ -84,10 +84,12 @@ func (e *Engine) RunPLSSubset(certs map[graph.ID]bits.Certificate, verify func(V
 	return out
 }
 
-// subsetView assembles node u's 1-round view from the live graph.
-func (e *Engine) subsetView(u int, certs map[graph.ID]bits.Certificate) View {
+// subsetView assembles node u's 1-round view from the live graph. The
+// neighbor slice is carved out of the worker's scratch, so a frontier
+// sweep's view assembly allocates nothing in steady state.
+func (e *Engine) subsetView(u int, certs map[graph.ID]bits.Certificate, sc *Scratch) View {
 	nbrs := e.g.Neighbors(u)
-	ncs := make([]NeighborCert, len(nbrs))
+	ncs := sc.neighbors(len(nbrs))
 	for i, v := range nbrs {
 		id := e.g.IDOf(v)
 		ncs[i] = NeighborCert{ID: id, Cert: certs[id]}
@@ -97,12 +99,16 @@ func (e *Engine) subsetView(u int, certs map[graph.ID]bits.Certificate) View {
 		Degree:    len(nbrs),
 		Cert:      certs[e.g.IDOf(u)],
 		Neighbors: ncs,
+		Scratch:   sc,
 	}
 }
 
 func (e *Engine) subsetSequential(sub []int, certs map[graph.ID]bits.Certificate, verify func(View) error, errs []error) {
+	pool := e.scratchPool()
+	sc := pool.get()
+	defer pool.put(sc)
 	for i, u := range sub {
-		if err := verifyView(e.g.IDOf(u), e.subsetView(u, certs), verify); err != nil {
+		if err := verifyView(e.g.IDOf(u), e.subsetView(u, certs, sc), verify); err != nil {
 			errs[i] = err
 			if e.failFast {
 				return
@@ -117,7 +123,7 @@ func (e *Engine) subsetParallel(sub []int, certs map[graph.ID]bits.Certificate, 
 	// (see Limit) so frontier sweeps across many sessions stay bounded.
 	shard := e.shardSize
 	nshards := (len(sub) + shard - 1) / shard
-	e.fanOut(nshards, sweep, func(s int) bool {
+	e.fanOut(nshards, sweep, func(s int, sc *Scratch) bool {
 		lo := s * shard
 		hi := lo + shard
 		if hi > len(sub) {
@@ -125,7 +131,7 @@ func (e *Engine) subsetParallel(sub []int, certs map[graph.ID]bits.Certificate, 
 		}
 		for i := lo; i < hi; i++ {
 			u := sub[i]
-			if err := verifyView(e.g.IDOf(u), e.subsetView(u, certs), verify); err != nil {
+			if err := verifyView(e.g.IDOf(u), e.subsetView(u, certs, sc), verify); err != nil {
 				errs[i] = err
 				if e.failFast {
 					return true

@@ -224,13 +224,20 @@ func newSessionShell(g *graph.Graph, cfg Config) (*Session, error) {
 	case cacheSize < 0:
 		cacheSize = 0
 	}
+	// The session builds a fresh engine per operation (the topology
+	// mutates between sweeps), but all of them share one scratch pool so
+	// the verifiers' decode scratch is reused across operations instead
+	// of being re-grown from zero by every engine.
+	engineOpts := make([]dist.Option, 0, len(cfg.EngineOpts)+1)
+	engineOpts = append(engineOpts, cfg.EngineOpts...)
+	engineOpts = append(engineOpts, dist.WithScratch(dist.NewScratchPool()))
 	return &Session{
 		g:           g,
 		scheme:      cfg.Scheme,
 		counterpart: cfg.Counterpart,
 		active:      cfg.Scheme,
 		threshold:   threshold,
-		engineOpts:  cfg.EngineOpts,
+		engineOpts:  engineOpts,
 		cache:       newCertCache(cacheSize),
 		fp:          fingerprintOf(g),
 	}, nil

@@ -34,22 +34,33 @@ func (c *TreeCert) Encode(w *bits.Writer) error {
 
 // DecodeTreeCert reads a TreeCert from r.
 func DecodeTreeCert(r *bits.Reader) (*TreeCert, error) {
-	vals := make([]uint64, 6)
+	c := new(TreeCert)
+	if err := DecodeTreeCertInto(r, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// DecodeTreeCertInto reads a TreeCert from r into c without allocating,
+// for verifiers decoding into reusable scratch.
+func DecodeTreeCertInto(r *bits.Reader, c *TreeCert) error {
+	var vals [6]uint64
 	for i := range vals {
 		v, err := r.ReadVar()
 		if err != nil {
-			return nil, fmt.Errorf("tree cert field %d: %w", i, err)
+			return fmt.Errorf("tree cert field %d: %w", i, err)
 		}
 		vals[i] = v
 	}
-	return &TreeCert{
+	*c = TreeCert{
 		SelfID: graph.ID(vals[0]),
 		RootID: graph.ID(vals[1]),
 		N:      vals[2],
 		Dist:   vals[3],
 		Parent: graph.ID(vals[4]),
 		Size:   vals[5],
-	}, nil
+	}
+	return nil
 }
 
 // BuildTreeCerts computes honest spanning-tree certificates for the BFS
