@@ -153,6 +153,27 @@ func TestBenchSnapshotsWellFormed(t *testing.T) {
 	if srv.Sessions < 50 {
 		t.Fatalf("BENCH_server.json: load run used %d concurrent sessions, want >= 50", srv.Sessions)
 	}
+	// The acceptance bar of the fair-share admission scheduler: the
+	// executed-batch p95 stays within a small multiple of the mean batch
+	// cost. Before admission control every batch time-sliced against all
+	// 64 sessions and the committed ratio was ~103; fair-share execution
+	// keeps the tail at the true service cost of the heaviest mode.
+	var batchMean, batchP95 int64
+	for _, b := range srv.Benchmarks {
+		switch b.Name {
+		case "ServerLoad/sessions=64/batch":
+			batchMean = b.NsPerOp
+		case "ServerLoad/sessions=64/batch_p95":
+			batchP95 = b.NsPerOp
+		}
+	}
+	if batchMean == 0 || batchP95 == 0 {
+		t.Fatal("BENCH_server.json: missing the sessions=64 batch/batch_p95 pair")
+	}
+	if ratio := float64(batchP95) / float64(batchMean); ratio > 10.0 {
+		t.Fatalf("committed snapshot violates the scheduling bar: batch p95/mean ratio %.1f > 10 (p95 %d ns, mean %d ns)",
+			ratio, batchP95, batchMean)
+	}
 
 	// The acceptance bar of the durability layer: a clean-shutdown boot
 	// restores certificates on the verification sweep alone, so it must

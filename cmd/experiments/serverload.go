@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -30,6 +31,17 @@ type loadOptions struct {
 	nodes    int // initial nodes per session network
 	seed     int64
 	server   server.Config // MaxSessions is overridden by runLoad
+
+	// qos assigns the driven sessions' QoS class: a class name, "mixed"
+	// (round-robin interactive/batch/background), or "" for the server
+	// default.
+	qos string
+	// storm > 0 adds a background-class re-prove storm: one session with
+	// repair disabled on a stormNodes-path, hammered by storm concurrent
+	// clients for the whole run. The fair-share admission scheduler must
+	// keep it from starving the measured sessions.
+	storm      int
+	stormNodes int
 }
 
 // loadStats is what one load run measured.
@@ -38,13 +50,20 @@ type loadStats struct {
 	batches     int64
 	updates     int64
 	watchEvents int64
-	latencies   []time.Duration            // every batch latency, sorted
-	byMode      map[string][]time.Duration // batch latencies by absorption mode, sorted
+	latencies   []time.Duration            // round-trip batch latency (incl. admission wait), sorted
+	execLat     []time.Duration            // server-side execution latency (excl. admission wait), sorted
+	byMode      map[string][]time.Duration // execution latencies by absorption mode, sorted
 	modes       map[string]uint64          // the server's absorption-mode counters
+	stormBatch  int64                      // storm batches completed
+	stormLat    []time.Duration            // storm round-trip latencies, sorted
+	stormShed   int64                      // storm batches shed by admission timeout (503)
 }
 
-// pct reads the p-th percentile from the sorted overall latencies.
+// pct reads the p-th percentile from the sorted round-trip latencies.
 func (s *loadStats) pct(p float64) time.Duration { return pctDur(s.latencies, p) }
+
+// pctExec reads the p-th percentile from the sorted execution latencies.
+func (s *loadStats) pctExec(p float64) time.Duration { return pctDur(s.execLat, p) }
 
 func pctDur(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
@@ -74,6 +93,79 @@ func runLoad(o loadOptions, afterLoad func(base string) error) (*loadStats, erro
 		latencyMu    sync.Mutex
 	)
 
+	// Background re-prove storm: one weight-1 session, o.storm concurrent
+	// clients, each toggling its own chord so batches never cancel out.
+	stopStorm := make(chan struct{})
+	var stormWg sync.WaitGroup
+	if o.storm > 0 {
+		n := o.stormNodes
+		if n < 3*o.storm+4 {
+			n = 3*o.storm + 4
+		}
+		var spec bytes.Buffer
+		for i := 0; i < n-1; i++ {
+			fmt.Fprintf(&spec, "%d %d\n", i, i+1)
+		}
+		body, err := json.Marshal(map[string]interface{}{
+			"name": "storm", "scheme": "planarity", "qos": "background",
+			"repair_threshold": -1, // every batch is a full re-prove
+			"graph":            map[string]string{"edge_list": spec.String()},
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return nil, fmt.Errorf("storm create: status %d: %s", resp.StatusCode, raw)
+		}
+		for c := 0; c < o.storm; c++ {
+			stormWg.Add(1)
+			go func(c int) {
+				defer stormWg.Done()
+				a, b := 3*c+1, 3*c+3
+				add := true
+				for {
+					select {
+					case <-stopStorm:
+						return
+					default:
+					}
+					op := "add_edge"
+					if !add {
+						op = "remove_edge"
+					}
+					add = !add
+					line := fmt.Sprintf("{\"op\":%q,\"a\":%d,\"b\":%d}\n", op, a, b)
+					t0 := time.Now()
+					resp, err := http.Post(ts.URL+"/v1/sessions/storm/updates", "application/x-ndjson", strings.NewReader(line))
+					if err != nil {
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					d := time.Since(t0)
+					if resp.StatusCode == http.StatusServiceUnavailable {
+						atomic.AddInt64(&st.stormShed, 1)
+						add = !add // the toggle did not land; retry the same op
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						return
+					}
+					latencyMu.Lock()
+					st.stormBatch++
+					st.stormLat = append(st.stormLat, d)
+					latencyMu.Unlock()
+				}
+			}(c)
+		}
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, o.sessions)
@@ -81,13 +173,14 @@ func runLoad(o loadOptions, afterLoad func(base string) error) (*loadStats, erro
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := driveSession(ts.URL, fmt.Sprintf("load%03d", i), o.nodes, o.batches, o.ops,
+			if err := driveSession(ts.URL, fmt.Sprintf("load%03d", i), qosFor(o.qos, i), o.nodes, o.batches, o.ops,
 				rand.New(rand.NewSource(o.seed+int64(i))),
 				&totalBatches, &totalUpdates, &watchEvents,
-				func(mode string, d time.Duration) {
+				func(mode string, rt, exec time.Duration) {
 					latencyMu.Lock()
-					st.latencies = append(st.latencies, d)
-					st.byMode[mode] = append(st.byMode[mode], d)
+					st.latencies = append(st.latencies, rt)
+					st.execLat = append(st.execLat, exec)
+					st.byMode[mode] = append(st.byMode[mode], exec)
 					latencyMu.Unlock()
 				}); err != nil {
 				errCh <- fmt.Errorf("session %d: %w", i, err)
@@ -96,6 +189,8 @@ func runLoad(o loadOptions, afterLoad func(base string) error) (*loadStats, erro
 	}
 	wg.Wait()
 	st.wall = time.Since(start)
+	close(stopStorm)
+	stormWg.Wait()
 	close(errCh)
 	for err := range errCh {
 		return nil, err
@@ -118,6 +213,8 @@ func runLoad(o loadOptions, afterLoad func(base string) error) (*loadStats, erro
 	st.batches, st.updates = totalBatches.Load(), totalUpdates.Load()
 	st.watchEvents = watchEvents.Load()
 	sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+	sort.Slice(st.execLat, func(i, j int) bool { return st.execLat[i] < st.execLat[j] })
+	sort.Slice(st.stormLat, func(i, j int) bool { return st.stormLat[i] < st.stormLat[j] })
 	for _, ds := range st.byMode {
 		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 	}
@@ -128,6 +225,16 @@ func runLoad(o loadOptions, afterLoad func(base string) error) (*loadStats, erro
 		}
 	}
 	return st, nil
+}
+
+// qosFor maps a session index to its QoS class under the -qos flag:
+// "mixed" spreads sessions round-robin over the three classes, anything
+// else is passed through verbatim ("" = server default).
+func qosFor(mode string, i int) string {
+	if mode != "mixed" {
+		return mode
+	}
+	return []string{"interactive", "batch", "background"}[i%3]
 }
 
 // serverLoad is the planarcertd load generator: it runs the in-process
@@ -141,27 +248,48 @@ func serverLoad(args []string) error {
 	ops := fs.Int("ops", 4, "updates per batch")
 	nodes := fs.Int("n", 200, "initial nodes per session network")
 	budget := fs.Int("budget", 0, "shared verification worker slots (0 = GOMAXPROCS)")
+	execSlots := fs.Int("exec-slots", 0, "admission-scheduler execution slots (0 = GOMAXPROCS)")
+	qosMode := fs.String("qos", "mixed", "session QoS: class name, \"mixed\" (round-robin), or \"\" for server default")
+	storm := fs.Int("storm", 4, "background re-prove storm clients (0 = no storm)")
+	stormN := fs.Int("storm-n", 300, "storm session path size")
 	seed := fs.Int64("seed", 2020, "random seed")
 	out := fs.String("out", "BENCH_server.json", "snapshot output path (empty = stdout only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *execSlots == 0 {
+		// Batches are CPU-bound: oversubscribing execution slots only
+		// inflates execution latency by time-slicing, so the experiment
+		// defaults to one slot per core (the daemon default is looser).
+		*execSlots = runtime.GOMAXPROCS(0)
+	}
 
 	st, err := runLoad(loadOptions{
 		sessions: *sessions, batches: *batches, ops: *ops, nodes: *nodes, seed: *seed,
-		server: server.Config{BudgetSlots: *budget},
+		qos: *qosMode, storm: *storm, stormNodes: *stormN,
+		server: server.Config{BudgetSlots: *budget, ExecSlots: *execSlots},
 	}, nil)
 	if err != nil {
 		return err
 	}
 
 	b, u := st.batches, st.updates
-	fmt.Printf("== serverload: %d sessions x %d batches x %d ops (n=%d) ==\n", *sessions, *batches, *ops, *nodes)
+	meanNs := st.wall.Nanoseconds() / max(b, 1)
+	execP95 := st.pctExec(0.95)
+	ratio := float64(execP95.Nanoseconds()) / float64(meanNs)
+	fmt.Printf("== serverload: %d sessions x %d batches x %d ops (n=%d, qos=%s, storm=%d) ==\n",
+		*sessions, *batches, *ops, *nodes, *qosMode, *storm)
 	fmt.Printf("wall:        %.2fs\n", st.wall.Seconds())
 	fmt.Printf("batches:     %d (%.0f/s)\n", b, float64(b)/st.wall.Seconds())
 	fmt.Printf("updates:     %d (%.0f/s)\n", u, float64(u)/st.wall.Seconds())
 	fmt.Printf("watch:       %d reports delivered\n", st.watchEvents)
-	fmt.Printf("latency:     p50=%s p95=%s p99=%s\n", st.pct(0.50), st.pct(0.95), st.pct(0.99))
+	fmt.Printf("exec:        p50=%s p95=%s p99=%s (p95/mean ratio %.1f)\n",
+		st.pctExec(0.50), execP95, st.pctExec(0.99), ratio)
+	fmt.Printf("round-trip:  p50=%s p95=%s p99=%s\n", st.pct(0.50), st.pct(0.95), st.pct(0.99))
+	if *storm > 0 {
+		fmt.Printf("storm:       %d batches by %d clients, rt p50=%s p95=%s, %d shed\n",
+			st.stormBatch, *storm, pctDur(st.stormLat, 0.50), pctDur(st.stormLat, 0.95), st.stormShed)
+	}
 	modes := make([]string, 0, len(st.byMode))
 	for m := range st.byMode {
 		modes = append(modes, m)
@@ -185,9 +313,10 @@ func serverLoad(args []string) error {
 		P95Ns   int64 `json:"p95_ns"`
 	}
 	bench := []benchEntry{
-		{Name: fmt.Sprintf("ServerLoad/sessions=%d/batch", *sessions), NsPerOp: st.wall.Nanoseconds() / max(b, 1)},
+		{Name: fmt.Sprintf("ServerLoad/sessions=%d/batch", *sessions), NsPerOp: meanNs},
 		{Name: fmt.Sprintf("ServerLoad/sessions=%d/update", *sessions), NsPerOp: st.wall.Nanoseconds() / max(u, 1)},
-		{Name: fmt.Sprintf("ServerLoad/sessions=%d/batch_p95", *sessions), NsPerOp: st.pct(0.95).Nanoseconds()},
+		{Name: fmt.Sprintf("ServerLoad/sessions=%d/batch_p95", *sessions), NsPerOp: execP95.Nanoseconds()},
+		{Name: fmt.Sprintf("ServerLoad/sessions=%d/rt_p95", *sessions), NsPerOp: st.pct(0.95).Nanoseconds()},
 	}
 	modeLat := make(map[string]modeLatency, len(st.byMode))
 	for _, m := range modes {
@@ -197,6 +326,18 @@ func serverLoad(args []string) error {
 			benchEntry{Name: fmt.Sprintf("ServerLoad/mode=%s/p50", m), NsPerOp: pctDur(ds, 0.50).Nanoseconds()},
 			benchEntry{Name: fmt.Sprintf("ServerLoad/mode=%s/p95", m), NsPerOp: pctDur(ds, 0.95).Nanoseconds()},
 		)
+	}
+	type fairnessStats struct {
+		QoS           string  `json:"qos"`
+		StormClients  int     `json:"storm_clients"`
+		StormBatches  int64   `json:"storm_batches"`
+		StormShed     int64   `json:"storm_admission_timeouts"`
+		StormRtP50Ns  int64   `json:"storm_rt_p50_ns,omitempty"`
+		StormRtP95Ns  int64   `json:"storm_rt_p95_ns,omitempty"`
+		BatchMeanNs   int64   `json:"batch_mean_ns"`
+		ExecP95Ns     int64   `json:"exec_p95_ns"`
+		RoundTripP95N int64   `json:"rt_p95_ns"`
+		P95MeanRatio  float64 `json:"p95_mean_ratio"`
 	}
 	snap := struct {
 		Note        string                 `json:"note"`
@@ -210,11 +351,14 @@ func serverLoad(args []string) error {
 		WatchSeen   int64                  `json:"watch_events"`
 		Modes       map[string]uint64      `json:"modes"`
 		ModeLatency map[string]modeLatency `json:"mode_latency"`
+		Fairness    fairnessStats          `json:"fairness"`
 		Benchmarks  []benchEntry           `json:"benchmarks"`
 	}{
-		Note: fmt.Sprintf("planarcertd load generator: %d concurrent sessions, %d batches each of %d updates, "+
-			"initial n=%d per session, shared worker budget, in-process HTTP; regenerate with "+
-			"`go run ./cmd/experiments serverload`", *sessions, *batches, *ops, *nodes),
+		Note: fmt.Sprintf("planarcertd load generator under fair-share admission scheduling: %d concurrent "+
+			"sessions (qos=%s), %d batches each of %d updates, initial n=%d per session, plus a %d-client "+
+			"background re-prove storm; batch_p95 and mode latencies are server-side execution times "+
+			"(elapsed_seconds, admission wait excluded), rt_p95 is the client round trip; regenerate with "+
+			"`go run ./cmd/experiments serverload`", *sessions, *qosMode, *batches, *ops, *nodes, *storm),
 		Date:        time.Now().Format("2006-01-02"),
 		Sessions:    *sessions,
 		Batches:     b,
@@ -225,7 +369,19 @@ func serverLoad(args []string) error {
 		WatchSeen:   st.watchEvents,
 		Modes:       st.modes,
 		ModeLatency: modeLat,
-		Benchmarks:  bench,
+		Fairness: fairnessStats{
+			QoS:           *qosMode,
+			StormClients:  *storm,
+			StormBatches:  st.stormBatch,
+			StormShed:     st.stormShed,
+			StormRtP50Ns:  pctDur(st.stormLat, 0.50).Nanoseconds(),
+			StormRtP95Ns:  pctDur(st.stormLat, 0.95).Nanoseconds(),
+			BatchMeanNs:   meanNs,
+			ExecP95Ns:     execP95.Nanoseconds(),
+			RoundTripP95N: st.pct(0.95).Nanoseconds(),
+			P95MeanRatio:  ratio,
+		},
+		Benchmarks: bench,
 	}
 	raw, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -243,19 +399,24 @@ func serverLoad(args []string) error {
 // attach a watcher, stream random chord add/remove batches (tracking a
 // local mirror so every batch is structurally valid), then delete the
 // session and join the watcher. observe receives every batch's
-// absorption mode (from the server's report) and round-trip latency.
-func driveSession(base, name string, n, batches, ops int, rng *rand.Rand,
-	totalBatches, totalUpdates, watchEvents *atomic.Int64, observe func(mode string, d time.Duration)) error {
+// absorption mode (from the server's report), round-trip latency, and
+// server-side execution latency (the ack's elapsed_seconds).
+func driveSession(base, name, qos string, n, batches, ops int, rng *rand.Rand,
+	totalBatches, totalUpdates, watchEvents *atomic.Int64, observe func(mode string, rt, exec time.Duration)) error {
 
 	var spec bytes.Buffer
 	for i := 0; i < n-1; i++ {
 		fmt.Fprintf(&spec, "%d %d\n", i, i+1)
 	}
-	body, err := json.Marshal(map[string]interface{}{
+	create := map[string]interface{}{
 		"name":   name,
 		"scheme": "planarity",
 		"graph":  map[string]string{"edge_list": spec.String()},
-	})
+	}
+	if qos != "" {
+		create["qos"] = qos
+	}
+	body, err := json.Marshal(create)
 	if err != nil {
 		return err
 	}
@@ -339,11 +500,12 @@ func driveSession(base, name string, n, batches, ops int, rng *rand.Rand,
 			Report struct {
 				Mode string `json:"mode"`
 			} `json:"report"`
+			ElapsedSeconds float64 `json:"elapsed_seconds"`
 		}
 		if err := json.Unmarshal(raw, &ack); err != nil {
 			return fmt.Errorf("batch %d: decode ack: %w", bi, err)
 		}
-		observe(ack.Report.Mode, elapsed)
+		observe(ack.Report.Mode, elapsed, time.Duration(ack.ElapsedSeconds*float64(time.Second)))
 		totalBatches.Add(1)
 		totalUpdates.Add(int64(count))
 	}

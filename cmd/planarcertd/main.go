@@ -21,7 +21,21 @@
 //
 // All sessions share one bounded verification worker budget (-budget),
 // so heavy traffic degrades gracefully toward per-session sequential
-// verification instead of oversubscribing the machine.
+// verification instead of oversubscribing the machine. Both that
+// budget and batch execution itself (-exec-slots) are granted by a
+// weighted fair-share scheduler over per-session QoS classes
+// (interactive/batch/background; "qos" in the create body,
+// -default-qos otherwise, weights tunable with -qos-weights), so a
+// re-prove storm in one session cannot starve repairs in another; a
+// batch that cannot be admitted within -admit-timeout is shed with 503.
+//
+// Hardening: -auth-token (repeatable) requires a bearer token on every
+// non-probe request; -rate-limit/-rate-burst apply a per-client token
+// bucket (keyed by bearer token, else client IP); -evict-lru evicts the
+// least-recently-used session instead of refusing creates at
+// -max-sessions (durable victims remain recoverable on disk); and
+// -adaptive-repair lets each session tune its repair threshold from
+// observed repair-vs-reprove latency windows.
 //
 // With -data-dir set the daemon is durable: every applied batch is
 // written to a per-session write-ahead log before it is acked, sessions
@@ -46,11 +60,14 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -76,6 +93,16 @@ func main() {
 	traceSample := flag.Int("trace-sample", 1, "keep every Nth trace (slow traces are always kept)")
 	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "batch duration above which a trace is always retained")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = pprof off)")
+	var authTokens tokenList
+	flag.Var(&authTokens, "auth-token", "bearer token required on every request except probes and /metrics (repeatable; empty = auth off)")
+	rateLimit := flag.Float64("rate-limit", 0, "sustained per-client requests/second (client = bearer token, else remote host; 0 = off)")
+	rateBurst := flag.Int("rate-burst", 0, "per-client burst allowance (0 = max(8, 2x rate-limit))")
+	qosWeights := flag.String("qos-weights", "", "fair-share weights as class=weight pairs, e.g. interactive=16,batch=4,background=1 (empty = defaults)")
+	execSlots := flag.Int("exec-slots", 0, "concurrent batch executions across all sessions (0 = max(4, 2x GOMAXPROCS))")
+	admitTimeout := flag.Duration("admit-timeout", 0, "max admission-queue wait before a batch is rejected 503 (0 = 30s)")
+	defaultQoS := flag.String("default-qos", "", "QoS class of sessions that do not request one, and of restored sessions (empty = batch)")
+	evictLRU := flag.Bool("evict-lru", false, "evict the least-recently-used session instead of rejecting creation at -max-sessions")
+	adaptiveRepair := flag.Bool("adaptive-repair", false, "let each session tune its repair threshold from observed repair vs re-prove latencies")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -88,6 +115,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("planarcertd: %v", err)
 	}
+	weights, err := parseQoSWeights(*qosWeights)
+	if err != nil {
+		log.Fatalf("planarcertd: %v", err)
+	}
+	if *defaultQoS != "" {
+		if _, err := planarcert.ParseQoSClass(*defaultQoS); err != nil {
+			log.Fatalf("planarcertd: -default-qos: %v", err)
+		}
+	}
 
 	srv := server.New(server.Config{
 		MaxSessions:      *maxSessions,
@@ -99,6 +135,15 @@ func main() {
 		TraceRing:        *traceRing,
 		TraceSampleEvery: *traceSample,
 		TraceSlow:        *traceSlow,
+		AuthTokens:       authTokens,
+		RateLimit:        *rateLimit,
+		RateBurst:        *rateBurst,
+		QoSWeights:       weights,
+		ExecSlots:        *execSlots,
+		AdmitTimeout:     *admitTimeout,
+		DefaultQoS:       *defaultQoS,
+		EvictLRU:         *evictLRU,
+		AdaptiveRepair:   *adaptiveRepair,
 		Engine: planarcert.EngineConfig{
 			Sequential:     *seq,
 			Workers:        *workers,
@@ -179,4 +224,42 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("planarcertd: shutdown: %v", err)
 	}
+}
+
+// tokenList collects repeated -auth-token flags.
+type tokenList []string
+
+func (t *tokenList) String() string { return strings.Join(*t, ",") }
+
+func (t *tokenList) Set(v string) error {
+	if v == "" {
+		return errors.New("empty token")
+	}
+	*t = append(*t, v)
+	return nil
+}
+
+// parseQoSWeights parses "class=weight" pairs ("interactive=16,batch=4")
+// into a weight map; classes left out keep their defaults.
+func parseQoSWeights(s string) (map[planarcert.QoSClass]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[planarcert.QoSClass]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("-qos-weights: %q is not class=weight", pair)
+		}
+		class, err := planarcert.ParseQoSClass(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("-qos-weights: %v", err)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-qos-weights: weight for %s must be a positive integer, got %q", class, val)
+		}
+		out[class] = w
+	}
+	return out, nil
 }

@@ -22,6 +22,7 @@ var docCheckedDirs = []string{
 	"internal/dynamic",
 	"internal/graph",
 	"internal/obs",
+	"internal/qos",
 	"internal/server",
 	"internal/wal",
 }

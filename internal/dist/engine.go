@@ -10,6 +10,7 @@ import (
 	"github.com/planarcert/planarcert/internal/bits"
 	"github.com/planarcert/planarcert/internal/graph"
 	"github.com/planarcert/planarcert/internal/obs"
+	"github.com/planarcert/planarcert/internal/qos"
 )
 
 // mode selects how RunPLS schedules the per-node verifications.
@@ -63,7 +64,7 @@ type Engine struct {
 	workers   int
 	shardSize int
 	failFast  bool
-	budget    *Budget
+	claim     *qos.Claimant
 	patience  time.Duration
 	span      *obs.Span
 	scratch   *ScratchPool
@@ -317,6 +318,9 @@ func (e *Engine) fanOut(nshards int, sweep *obs.Span, verifyShard func(s int, sc
 	}()
 
 	bw := sweep.Child(obs.SpanBudgetWait)
+	if e.claim != nil {
+		bw.SetStr("class", e.claim.Class().String())
+	}
 	wanted := workers - 1
 	if wanted < 0 {
 		wanted = 0
@@ -324,13 +328,13 @@ func (e *Engine) fanOut(nshards int, sweep *obs.Span, verifyShard func(s int, sc
 	granted := 0
 	patient := false
 	for w := 1; w < workers; w++ {
-		if e.budget != nil && !e.budget.tryAcquire() {
+		if e.claim != nil && !e.claim.TryAcquire() {
 			if e.patience > 0 {
 				patient = true
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					ok := e.budget.acquireWait(e.patience, done)
+					ok := e.claim.AcquireWait(e.patience, done)
 					late := 0
 					if ok {
 						late = 1
@@ -342,19 +346,19 @@ func (e *Engine) fanOut(nshards int, sweep *obs.Span, verifyShard func(s int, sc
 					if !ok {
 						return
 					}
-					defer e.budget.release()
+					defer e.claim.Release()
 					loop()
 				}()
 			}
 			break
 		}
-		budgeted := e.budget != nil
+		budgeted := e.claim != nil
 		granted++
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			if budgeted {
-				defer e.budget.release()
+				defer e.claim.Release()
 			}
 			loop()
 		}()

@@ -1,0 +1,129 @@
+package dynamic
+
+import "sort"
+
+// Tuner window and clamp defaults. The clamps keep the controller
+// inside the regime where repair is meaningful: below MinTunedThreshold
+// nearly every batch falls back, above MaxTunedThreshold a "repair" can
+// scan the whole structure and is a re-prove in disguise.
+const (
+	tunerWindow = 32
+	// MinTunedThreshold is the lowest repair threshold the tuner will
+	// recommend.
+	MinTunedThreshold = 64
+	// MaxTunedThreshold is the highest repair threshold the tuner will
+	// recommend.
+	MaxTunedThreshold = 1 << 20
+)
+
+// ThresholdTuner is a feedback controller for a session's repair
+// threshold, driven by the same per-mode latencies the /metrics
+// histograms export. It compares the recent cost of repairs against
+// the recent cost of re-proving: when a typical repair (p95) costs more
+// than a typical re-prove (p50), the threshold is too generous — the
+// repair scans more structure than starting over would — and is halved.
+// When repairs are far cheaper than re-proves but many batches still
+// fall back for exceeding the threshold, the threshold is too stingy
+// and is doubled. Recommendations are clamped to
+// [MinTunedThreshold, MaxTunedThreshold] and move one factor of two per
+// call, so a noisy window cannot slam the setting.
+//
+// A ThresholdTuner is not safe for concurrent use; in planarcertd each
+// session owns one and drives it under the session's batch mutex.
+type ThresholdTuner struct {
+	repair   ring
+	reprove  ring
+	fallback ring // 1.0 when the reprove was a threshold fallback
+}
+
+// ring is a fixed-size sliding window of float64 samples.
+type ring struct {
+	buf [tunerWindow]float64
+	n   int // total samples ever pushed
+}
+
+func (r *ring) push(v float64) { r.buf[r.n%tunerWindow] = v; r.n++ }
+
+func (r *ring) size() int {
+	if r.n < tunerWindow {
+		return r.n
+	}
+	return tunerWindow
+}
+
+// quantile returns the q-quantile of the window (0 when empty).
+func (r *ring) quantile(q float64) float64 {
+	n := r.size()
+	if n == 0 {
+		return 0
+	}
+	s := make([]float64, n)
+	copy(s, r.buf[:n])
+	sort.Float64s(s)
+	i := int(q * float64(n-1))
+	return s[i]
+}
+
+// mean returns the window mean (0 when empty).
+func (r *ring) mean() float64 {
+	n := r.size()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.buf[:n] {
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+// Observe records one batch outcome: its service mode, whether a
+// re-prove was a repair-threshold fallback (Report.RepairFallback
+// non-empty), and the batch latency in seconds. Modes other than
+// repair/reprove carry no pricing signal and are ignored.
+func (t *ThresholdTuner) Observe(mode Mode, thresholdFallback bool, seconds float64) {
+	switch mode {
+	case ModeRepair:
+		t.repair.push(seconds)
+	case ModeReprove:
+		t.reprove.push(seconds)
+		if thresholdFallback {
+			t.fallback.push(1)
+		} else {
+			t.fallback.push(0)
+		}
+	}
+}
+
+// Recommend returns the threshold the controller would set given the
+// current value cur, moving at most one factor of two and staying
+// within the clamps. With fewer than 4 samples on either side of the
+// comparison it returns cur unchanged (not enough evidence).
+func (t *ThresholdTuner) Recommend(cur int) int {
+	if cur < 0 {
+		return cur // repair disabled by the operator; never re-enable
+	}
+	if cur == 0 {
+		cur = DefaultRepairThreshold
+	}
+	clamp := func(k int) int {
+		if k < MinTunedThreshold {
+			return MinTunedThreshold
+		}
+		if k > MaxTunedThreshold {
+			return MaxTunedThreshold
+		}
+		return k
+	}
+	if t.repair.size() >= 4 && t.reprove.size() >= 4 {
+		repairP95 := t.repair.quantile(0.95)
+		reproveP50 := t.reprove.quantile(0.50)
+		if repairP95 > reproveP50 {
+			return clamp(cur / 2)
+		}
+		if repairP95*4 < reproveP50 && t.fallback.mean() > 0.25 {
+			return clamp(cur * 2)
+		}
+	}
+	return clamp(cur)
+}

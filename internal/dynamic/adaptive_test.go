@@ -1,0 +1,104 @@
+package dynamic
+
+import "testing"
+
+// feed pushes n repair and n reprove observations with the given
+// latencies; fallback marks every reprove as a threshold fallback.
+func feed(t *ThresholdTuner, n int, repairSec, reproveSec float64, fallback bool) {
+	for i := 0; i < n; i++ {
+		t.Observe(ModeRepair, false, repairSec)
+		t.Observe(ModeReprove, fallback, reproveSec)
+	}
+}
+
+func TestTunerHalvesWhenRepairsPriceAboveReproves(t *testing.T) {
+	var tn ThresholdTuner
+	feed(&tn, 4, 0.050, 0.010, false)
+	if got := tn.Recommend(1024); got != 512 {
+		t.Fatalf("Recommend(1024) = %d, want 512", got)
+	}
+	// One factor of two per call, never a slam to the floor.
+	if got := tn.Recommend(512); got != 256 {
+		t.Fatalf("Recommend(512) = %d, want 256", got)
+	}
+}
+
+func TestTunerDoublesWhenRepairsCheapAndFallbacksFrequent(t *testing.T) {
+	var tn ThresholdTuner
+	// Repairs 50x cheaper than re-proves, and every re-prove is a
+	// threshold fallback: the threshold is too stingy.
+	feed(&tn, 4, 0.001, 0.050, true)
+	if got := tn.Recommend(1024); got != 2048 {
+		t.Fatalf("Recommend(1024) = %d, want 2048", got)
+	}
+}
+
+func TestTunerHoldsWithoutFallbackPressure(t *testing.T) {
+	var tn ThresholdTuner
+	// Repairs far cheaper, but no batch ever hit the threshold: nothing
+	// to gain by raising it.
+	feed(&tn, 8, 0.001, 0.050, false)
+	if got := tn.Recommend(1024); got != 1024 {
+		t.Fatalf("Recommend(1024) = %d, want 1024 (no fallback pressure)", got)
+	}
+}
+
+func TestTunerNeedsEvidence(t *testing.T) {
+	var tn ThresholdTuner
+	// 3 samples per side is below the evidence bar.
+	feed(&tn, 3, 0.050, 0.001, false)
+	if got := tn.Recommend(1024); got != 1024 {
+		t.Fatalf("Recommend(1024) with 3 samples = %d, want 1024", got)
+	}
+}
+
+func TestTunerClamps(t *testing.T) {
+	var tn ThresholdTuner
+	feed(&tn, 4, 0.050, 0.001, false)
+	if got := tn.Recommend(MinTunedThreshold); got != MinTunedThreshold {
+		t.Fatalf("Recommend at floor = %d, want %d", got, MinTunedThreshold)
+	}
+	var up ThresholdTuner
+	feed(&up, 4, 0.001, 0.050, true)
+	if got := up.Recommend(MaxTunedThreshold); got != MaxTunedThreshold {
+		t.Fatalf("Recommend at ceiling = %d, want %d", got, MaxTunedThreshold)
+	}
+}
+
+func TestTunerRespectsOperatorChoices(t *testing.T) {
+	var tn ThresholdTuner
+	feed(&tn, 8, 0.001, 0.050, true)
+	// Repair disabled by the operator: never re-enabled, whatever the
+	// evidence says.
+	if got := tn.Recommend(-1); got != -1 {
+		t.Fatalf("Recommend(-1) = %d, want -1", got)
+	}
+	// 0 means "default": the tuner starts from DefaultRepairThreshold.
+	if got := tn.Recommend(0); got != 2*DefaultRepairThreshold {
+		t.Fatalf("Recommend(0) = %d, want %d", got, 2*DefaultRepairThreshold)
+	}
+}
+
+func TestTunerWindowSlides(t *testing.T) {
+	var tn ThresholdTuner
+	// An old regime of expensive repairs...
+	feed(&tn, tunerWindow, 0.050, 0.010, false)
+	// ...fully displaced by a new regime of cheap repairs with fallback
+	// pressure: the window must forget the old samples.
+	feed(&tn, tunerWindow, 0.001, 0.050, true)
+	if got := tn.Recommend(1024); got != 2048 {
+		t.Fatalf("Recommend(1024) after regime change = %d, want 2048", got)
+	}
+}
+
+func TestModesOtherThanRepairReproveIgnored(t *testing.T) {
+	var tn ThresholdTuner
+	for i := 0; i < 16; i++ {
+		tn.Observe(ModeCache, false, 0.5)
+		tn.Observe(ModeNoop, false, 0.5)
+	}
+	if tn.repair.size() != 0 || tn.reprove.size() != 0 {
+		t.Fatalf("non-pricing modes landed in the windows: repair=%d reprove=%d",
+			tn.repair.size(), tn.reprove.size())
+	}
+}

@@ -34,6 +34,10 @@ const (
 	// SpanPersist is the durability work of a batch (WAL append and/or
 	// snapshot) on the ack path.
 	SpanPersist = "persist"
+	// SpanAdmit is the time a batch waited in the fair-share admission
+	// queue for an execution slot (QoS scheduling), before any
+	// session-level queue-wait.
+	SpanAdmit = "admit"
 )
 
 // Attr is one span attribute: either a string or an int64 value under a
@@ -394,6 +398,7 @@ func (t *Tracer) Dropped() (sampled, evicted uint64) {
 // residue no phase claims (JSON decode, report marshalling, watcher
 // broadcast).
 const (
+	PhaseAdmit      = SpanAdmit
 	PhaseQueueWait  = SpanQueueWait
 	PhaseBudgetWait = SpanBudgetWait
 	PhaseProve      = SpanProve
@@ -402,13 +407,14 @@ const (
 	PhaseOther      = "other"
 )
 
-// Phases decomposes a batch trace into the service phases: queue-wait,
-// budget-wait, prove, verify, persist and other. Sweep spans count as
-// verify time minus the budget-wait they contain; round spans are part
-// of their sweep and are not double-counted. The phases sum to the root
-// duration.
+// Phases decomposes a batch trace into the service phases: admit,
+// queue-wait, budget-wait, prove, verify, persist and other. Sweep
+// spans count as verify time minus the budget-wait they contain; round
+// spans are part of their sweep and are not double-counted. The phases
+// sum to the root duration.
 func Phases(root *Span) map[string]time.Duration {
 	out := map[string]time.Duration{
+		PhaseAdmit:      0,
 		PhaseQueueWait:  0,
 		PhaseBudgetWait: 0,
 		PhaseProve:      0,
@@ -422,6 +428,8 @@ func Phases(root *Span) map[string]time.Duration {
 	walk = func(s *Span) {
 		for _, c := range s.Children() {
 			switch c.Name() {
+			case SpanAdmit:
+				out[PhaseAdmit] += c.Duration()
 			case SpanQueueWait:
 				out[PhaseQueueWait] += c.Duration()
 			case SpanProve:

@@ -1,0 +1,28 @@
+// Package qos implements weighted fair-share scheduling of bounded
+// resource slots across quality-of-service classes.
+//
+// The planarcertd service multiplexes many independent certification
+// sessions over two scarce pools: the extra verification workers a
+// sweep may fan out to (dist.Budget), and the batch-execution slots
+// that admit update batches into the prover at all. Both pools used to
+// be FIFO counting semaphores, which let one session's re-prove storm
+// monopolise the pool and starve every cheap repair queued behind it
+// (BENCH_server.json: mean batch 5ms, p95 553ms at 64 sessions).
+//
+// A Scheduler replaces the semaphore with virtual-time (stride) fair
+// queueing. Every consumer holds a Claimant carrying a QoS Class —
+// interactive, batch, or background — whose weight sets its share.
+// Waiters queue per claimant; when a slot frees, it is handed directly
+// to the waiting claimant with the smallest virtual time, and each
+// grant advances that claimant's virtual time by scale/weight. A
+// backlogged claimant's virtual time therefore grows with the service
+// it receives, so any claimant left waiting eventually holds the
+// minimum and must be served next: no starvation, and long-run grant
+// shares converge to the weight ratios. Handouts are preemption-free —
+// a granted slot is held until released — so slow holders are bounded
+// by slot multiplicity, not interrupted.
+//
+// The scheduler is event-driven: apart from the optional timeout in
+// AcquireWait it never reads a clock, which makes scripted scheduling
+// traces fully deterministic (see sched_test.go).
+package qos

@@ -1,0 +1,356 @@
+package qos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Class is a quality-of-service class. Lower-latency classes carry
+// larger default weights, so their claimants receive proportionally
+// more slot grants when the scheduler is contended.
+type Class int
+
+// The QoS classes, from most to least latency-sensitive.
+const (
+	// Interactive is for latency-sensitive foreground traffic (live
+	// repair sessions a user is watching).
+	Interactive Class = iota
+	// Batch is the default class for ordinary workloads.
+	Batch
+	// Background is for throughput-oriented work that should yield to
+	// everything else (bulk re-prove storms, backfills).
+	Background
+
+	numClasses = 3
+)
+
+// String returns the class name used in flags, API bodies and metric
+// labels.
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	case Background:
+		return "background"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ParseClass maps a class name to its Class, accepting exactly the
+// String forms.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "interactive":
+		return Interactive, nil
+	case "batch":
+		return Batch, nil
+	case "background":
+		return Background, nil
+	default:
+		return 0, fmt.Errorf("qos: unknown class %q (want interactive, batch or background)", s)
+	}
+}
+
+// Classes lists every class in declaration order (stable metric-label
+// and report ordering).
+func Classes() []Class { return []Class{Interactive, Batch, Background} }
+
+// DefaultWeights returns the default per-class weights: 16:4:1 for
+// interactive:batch:background, so a fully contended scheduler serves
+// interactive claimants 4x as often as batch ones and 16x as often as
+// background ones (per claimant, all else equal).
+func DefaultWeights() map[Class]int {
+	return map[Class]int{Interactive: 16, Batch: 4, Background: 1}
+}
+
+// vtScale is the virtual-time stride numerator: one grant advances a
+// claimant's virtual time by vtScale/weight, so larger weights mean
+// slower virtual clocks and therefore more frequent service.
+const vtScale = 1 << 16
+
+// Scheduler is a weighted fair-share pool of identical slots. Consumers
+// acquire and release slots through per-consumer Claimants; when the
+// pool is contended, freed slots are handed to the waiting claimant
+// with the smallest virtual time (stride scheduling), which bounds how
+// long any backlogged claimant can be bypassed and makes long-run grant
+// shares track the class weights.
+//
+// A Scheduler is safe for concurrent use. Handouts are preemption-free:
+// a granted slot is held until its holder releases it.
+type Scheduler struct {
+	mu      sync.Mutex
+	slots   int
+	free    int
+	weights [numClasses]int
+	vnow    uint64
+	// active lists claimants with at least one queued waiter, in
+	// arrival order (the tie-break for equal virtual times).
+	active []*Claimant
+	grants [numClasses]uint64
+	denied [numClasses]uint64
+}
+
+// NewScheduler returns a scheduler with the given slot count (clamped
+// up to 1) and per-class weights; nil or partial weight maps fall back
+// to DefaultWeights for the missing classes, and every weight is
+// clamped up to 1.
+func NewScheduler(slots int, weights map[Class]int) *Scheduler {
+	if slots < 1 {
+		slots = 1
+	}
+	s := &Scheduler{slots: slots, free: slots}
+	def := DefaultWeights()
+	for i := 0; i < numClasses; i++ {
+		w := def[Class(i)]
+		if ww, ok := weights[Class(i)]; ok {
+			w = ww
+		}
+		if w < 1 {
+			w = 1
+		}
+		s.weights[i] = w
+	}
+	return s
+}
+
+// Slots returns the configured slot count.
+func (s *Scheduler) Slots() int { return s.slots }
+
+// InUse returns the number of slots currently held.
+func (s *Scheduler) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slots - s.free
+}
+
+// QueueDepth returns the number of waiters currently queued.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.active {
+		n += len(c.queue)
+	}
+	return n
+}
+
+// Weight returns the configured weight of a class (1 for classes out
+// of range).
+func (s *Scheduler) Weight(c Class) int {
+	if c < 0 || c >= numClasses {
+		return 1
+	}
+	return s.weights[c]
+}
+
+// Grants returns the cumulative per-class grant counters.
+func (s *Scheduler) Grants() map[Class]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Class]uint64, numClasses)
+	for i := 0; i < numClasses; i++ {
+		out[Class(i)] = s.grants[i]
+	}
+	return out
+}
+
+// Denied returns the cumulative per-class counters of acquisitions
+// that gave up (immediate TryAcquire misses and abandoned waits).
+func (s *Scheduler) Denied() map[Class]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Class]uint64, numClasses)
+	for i := 0; i < numClasses; i++ {
+		out[Class(i)] = s.denied[i]
+	}
+	return out
+}
+
+// Claimant mints a consumer identity in the given class. Claimants are
+// cheap: one per server session, for example. The scheduler keeps no
+// reference to an idle claimant, so dropping every reference to one
+// (session eviction) releases it without any explicit detach.
+func (s *Scheduler) Claimant(name string, class Class) *Claimant {
+	if class < 0 || class >= numClasses {
+		class = Batch
+	}
+	return &Claimant{s: s, name: name, class: class}
+}
+
+// Claimant is one consumer's handle on a Scheduler: it carries the
+// consumer's QoS class and its virtual-time position. All methods are
+// safe for concurrent use; slots acquired through a claimant must be
+// released through the same claimant's scheduler (Release).
+type Claimant struct {
+	s     *Scheduler
+	name  string
+	class Class
+	// pass is the claimant's virtual time: advanced by vtScale/weight
+	// per grant, floored to the scheduler's clock when it falls behind
+	// (an idle claimant accrues no credit).
+	pass uint64
+	// queue holds the claimant's waiters in arrival order (guarded by
+	// s.mu).
+	queue []*waiter
+}
+
+// Name returns the identity given at mint time.
+func (c *Claimant) Name() string { return c.name }
+
+// Class returns the claimant's QoS class.
+func (c *Claimant) Class() Class { return c.class }
+
+// waiter is one queued acquisition.
+type waiter struct {
+	c  *Claimant
+	ch chan struct{} // buffered; a token in it is a granted slot
+	// granted flips under s.mu when a slot is handed to this waiter;
+	// a cancelling waiter that finds it set must put the slot back.
+	granted bool
+}
+
+// TryAcquire takes a slot if one is free AND no waiter is queued; it
+// never blocks and never bypasses the queue (no barging: an exhausted
+// or contended scheduler makes even momentarily-free slots flow through
+// the fair queue).
+func (c *Claimant) TryAcquire() bool {
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.free > 0 && len(s.active) == 0 {
+		s.free--
+		s.charge(c)
+		return true
+	}
+	s.denied[c.class]++
+	return false
+}
+
+// AcquireWait blocks until a slot is granted, the timeout d elapses
+// (d <= 0 waits indefinitely), or stop closes. It reports whether a
+// slot was acquired; on false the caller holds nothing.
+func (c *Claimant) AcquireWait(d time.Duration, stop <-chan struct{}) bool {
+	s := c.s
+	s.mu.Lock()
+	if s.free > 0 && len(s.active) == 0 {
+		s.free--
+		s.charge(c)
+		s.mu.Unlock()
+		return true
+	}
+	w := c.enqueueLocked()
+	s.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-w.ch:
+		return true
+	case <-timeout:
+	case <-stop:
+	}
+	s.cancel(w)
+	return false
+}
+
+// Release returns a held slot: it is handed directly to the fair
+// queue's next waiter if any, and returned to the free pool otherwise.
+func (c *Claimant) Release() {
+	s := c.s
+	s.mu.Lock()
+	s.releaseLocked()
+	s.mu.Unlock()
+}
+
+// enqueueLocked appends a new waiter for c; the caller holds s.mu.
+func (c *Claimant) enqueueLocked() *waiter {
+	w := &waiter{c: c, ch: make(chan struct{}, 1)}
+	if len(c.queue) == 0 {
+		c.s.active = append(c.s.active, c)
+	}
+	c.queue = append(c.queue, w)
+	return w
+}
+
+// cancel abandons a queued waiter. If the race was lost — a slot was
+// already handed to the waiter — the slot is put back through the fair
+// queue, so a timed-out acquisition can never leak one.
+func (s *Scheduler) cancel(w *waiter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.denied[w.c.class]++
+	if w.granted {
+		s.releaseLocked()
+		return
+	}
+	c := w.c
+	for i, qw := range c.queue {
+		if qw == w {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			break
+		}
+	}
+	if len(c.queue) == 0 {
+		s.removeActive(c)
+	}
+}
+
+// releaseLocked frees one slot: the waiting claimant with the smallest
+// virtual time (arrival order breaks ties) receives it directly, so a
+// freed slot can never be barged away from the queue; with no waiters
+// the free pool grows. The caller holds s.mu.
+func (s *Scheduler) releaseLocked() {
+	if len(s.active) == 0 {
+		if s.free < s.slots {
+			s.free++
+		}
+		return
+	}
+	min := 0
+	for i := 1; i < len(s.active); i++ {
+		if s.active[i].pass < s.active[min].pass {
+			min = i
+		}
+	}
+	c := s.active[min]
+	w := c.queue[0]
+	c.queue = c.queue[1:]
+	if len(c.queue) == 0 {
+		s.removeActive(c)
+	}
+	s.charge(c)
+	w.granted = true
+	w.ch <- struct{}{}
+}
+
+// removeActive drops c from the active list, preserving arrival order;
+// the caller holds s.mu.
+func (s *Scheduler) removeActive(c *Claimant) {
+	for i, ac := range s.active {
+		if ac == c {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// charge advances the virtual clocks for one grant to c: the claimant's
+// pass is floored to the scheduler's clock (idle time earns no credit),
+// the scheduler's clock advances to the granted pass, and the claimant
+// pays one stride (vtScale/weight). The caller holds s.mu.
+func (s *Scheduler) charge(c *Claimant) {
+	if c.pass < s.vnow {
+		c.pass = s.vnow
+	}
+	s.vnow = c.pass
+	c.pass += vtScale / uint64(s.weights[c.class])
+	s.grants[c.class]++
+}

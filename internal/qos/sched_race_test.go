@@ -1,0 +1,81 @@
+package qos
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSchedulerRaceHammer batters one scheduler from many goroutines
+// across all classes, with claimant churn mid-flight (fresh claimants
+// minted while their predecessors still hold slots — the session
+// eviction pattern). Run under -race; the invariants checked are that
+// concurrent holds never exceed the slot count and that no slot is
+// lost once the dust settles.
+func TestSchedulerRaceHammer(t *testing.T) {
+	const (
+		slots      = 3
+		goroutines = 24
+		iters      = 400
+	)
+	s := NewScheduler(slots, nil)
+	var (
+		held    atomic.Int64
+		maxHeld atomic.Int64
+		wg      sync.WaitGroup
+	)
+	stop := make(chan struct{})
+	time.AfterFunc(2*time.Second, func() { close(stop) })
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			class := Class(g % numClasses)
+			c := s.Claimant("hammer", class)
+			for i := 0; i < iters; i++ {
+				// Churn: replace the claimant mid-run, abandoning the
+				// old identity the way session eviction does.
+				if i%37 == 36 {
+					c = s.Claimant("hammer-churned", class)
+				}
+				var ok bool
+				if i%3 == 0 {
+					ok = c.TryAcquire()
+				} else {
+					ok = c.AcquireWait(50*time.Millisecond, stop)
+				}
+				if !ok {
+					continue
+				}
+				h := held.Add(1)
+				for {
+					m := maxHeld.Load()
+					if h <= m || maxHeld.CompareAndSwap(m, h) {
+						break
+					}
+				}
+				if h > slots {
+					t.Errorf("held %d slots concurrently, scheduler has %d", h, slots)
+				}
+				held.Add(-1)
+				c.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after hammer, want 0 (slot leak)", got)
+	}
+	if got := s.QueueDepth(); got != 0 {
+		t.Fatalf("QueueDepth = %d after hammer, want 0", got)
+	}
+	for i := 0; i < slots; i++ {
+		if !s.Claimant("post", Batch).TryAcquire() {
+			t.Fatalf("only %d of %d slots acquirable after hammer", i, slots)
+		}
+	}
+	if maxHeld.Load() == 0 {
+		t.Fatal("hammer never held a slot")
+	}
+}

@@ -1,0 +1,376 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+// sim drives a Scheduler through a scripted trace with no goroutines
+// and no clock: waiters are enqueued directly, and each grant() call
+// simulates one slot-holder finishing. Which waiter the freed slot goes
+// to is the scheduler's decision under test.
+type sim struct {
+	t           *testing.T
+	s           *Scheduler
+	outstanding []*waiter
+}
+
+func newSim(t *testing.T, slots int, weights map[Class]int) *sim {
+	t.Helper()
+	return &sim{t: t, s: NewScheduler(slots, weights)}
+}
+
+// hold seizes a free slot for c (the trace's initial holders).
+func (m *sim) hold(c *Claimant) {
+	m.t.Helper()
+	if !c.TryAcquire() {
+		m.t.Fatalf("claimant %s: TryAcquire failed while seeding holders", c.Name())
+	}
+}
+
+// enqueue adds a scripted waiter for c to the fair queue.
+func (m *sim) enqueue(c *Claimant) *waiter {
+	m.s.mu.Lock()
+	w := c.enqueueLocked()
+	m.s.mu.Unlock()
+	m.outstanding = append(m.outstanding, w)
+	return w
+}
+
+// grant simulates one holder releasing its slot and reports which
+// claimant's waiter received it. The served claimant becomes the
+// holder whose release the next grant() simulates (closed loop).
+func (m *sim) grant() *Claimant {
+	m.t.Helper()
+	m.s.mu.Lock()
+	m.s.releaseLocked()
+	m.s.mu.Unlock()
+	for i, w := range m.outstanding {
+		select {
+		case <-w.ch:
+			m.outstanding = append(m.outstanding[:i], m.outstanding[i+1:]...)
+			return w.c
+		default:
+		}
+	}
+	m.t.Fatalf("release granted no outstanding waiter")
+	return nil
+}
+
+// TestWeightedShares scripts a fully contended scheduler (every
+// claimant keeps a persistent backlog) and checks that long-run grant
+// shares match the weight ratios within ±10%.
+func TestWeightedShares(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights map[Class]int
+		// claimants lists the class mix; one claimant per entry.
+		claimants []Class
+	}{
+		{"default-one-per-class", nil, []Class{Interactive, Batch, Background}},
+		{"flat-weights", map[Class]int{Interactive: 1, Batch: 1, Background: 1},
+			[]Class{Interactive, Batch, Background}},
+		{"8-2-1", map[Class]int{Interactive: 8, Batch: 2, Background: 1},
+			[]Class{Interactive, Batch, Background}},
+		{"two-background-storms", nil,
+			[]Class{Interactive, Background, Background}},
+		{"mixed-fleet", map[Class]int{Interactive: 10, Batch: 5, Background: 1},
+			[]Class{Interactive, Interactive, Batch, Background, Background}},
+	}
+	const rounds = 4000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newSim(t, 1, tc.weights)
+			cs := make([]*Claimant, len(tc.claimants))
+			var sumW float64
+			for i, class := range tc.claimants {
+				cs[i] = m.s.Claimant("c", class)
+				sumW += float64(m.s.Weight(class))
+			}
+			// Seed: claimant 0 holds the only slot; everyone (including
+			// claimant 0) has a queued waiter from the start.
+			m.hold(cs[0])
+			for _, c := range cs {
+				m.enqueue(c)
+			}
+			counts := make(map[*Claimant]int, len(cs))
+			for i := 0; i < rounds; i++ {
+				c := m.grant()
+				counts[c]++
+				m.enqueue(c) // persistent backlog
+			}
+			for i, c := range cs {
+				want := float64(m.s.Weight(c.Class())) / sumW
+				got := float64(counts[c]) / rounds
+				if diff := got - want; diff > 0.1*want+2.0/rounds || -diff > 0.1*want+2.0/rounds {
+					t.Errorf("claimant %d (%s, weight %d): share %.4f, want %.4f +/- 10%%",
+						i, c.Class(), m.s.Weight(c.Class()), got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestZeroStarvation checks the stride bound directly: a backlogged
+// claimant is never bypassed more than sum_over_competitors(stride_c /
+// stride_d + 1) consecutive grants, even for the minimum-weight class
+// under default weights.
+func TestZeroStarvation(t *testing.T) {
+	m := newSim(t, 1, nil)
+	cs := []*Claimant{
+		m.s.Claimant("live", Interactive),
+		m.s.Claimant("bulk", Batch),
+		m.s.Claimant("storm", Background),
+	}
+	m.hold(cs[0])
+	for _, c := range cs {
+		m.enqueue(c)
+	}
+	// Theoretical gap bound for claimant c: between two of its grants,
+	// each competitor d fits at most stride(c)/stride(d)+1 grants.
+	bound := func(c *Claimant) int {
+		own := vtScale / uint64(m.s.Weight(c.Class()))
+		gap := 0
+		for _, d := range cs {
+			if d == c {
+				continue
+			}
+			other := vtScale / uint64(m.s.Weight(d.Class()))
+			gap += int(own/other) + 1
+		}
+		return gap
+	}
+	const rounds = 3000
+	last := map[*Claimant]int{}
+	maxGap := map[*Claimant]int{}
+	for i := 1; i <= rounds; i++ {
+		c := m.grant()
+		if g := i - last[c]; g > maxGap[c] {
+			maxGap[c] = g
+		}
+		last[c] = i
+		m.enqueue(c)
+	}
+	for _, c := range cs {
+		if maxGap[c] == 0 {
+			t.Fatalf("claimant %s (%s) was never served in %d grants", c.Name(), c.Class(), rounds)
+		}
+		if b := bound(c); maxGap[c] > b+1 {
+			t.Errorf("claimant %s (%s): worst inter-grant gap %d exceeds stride bound %d",
+				c.Name(), c.Class(), maxGap[c], b+1)
+		}
+	}
+}
+
+// TestInteractiveLatencyUnderStorm is the QoS pathology in miniature:
+// one background claimant keeps the slot saturated with a huge backlog,
+// and an interactive waiter that shows up mid-storm must be served on
+// the very next release instead of queueing behind the storm.
+func TestInteractiveLatencyUnderStorm(t *testing.T) {
+	m := newSim(t, 1, nil)
+	storm := m.s.Claimant("storm", Background)
+	live := m.s.Claimant("live", Interactive)
+	m.hold(storm)
+	for i := 0; i < 50; i++ {
+		m.enqueue(storm)
+	}
+	for burn := 0; burn < 10; burn++ {
+		if c := m.grant(); c != storm {
+			t.Fatalf("grant %d: served %s, want storm", burn, c.Name())
+		}
+		m.enqueue(storm)
+	}
+	m.enqueue(live)
+	if c := m.grant(); c != live {
+		t.Fatalf("interactive waiter bypassed by %s on the first release after arrival", c.Name())
+	}
+}
+
+// TestFIFOWithinClaimant checks that a single claimant's waiters are
+// served strictly in arrival order.
+func TestFIFOWithinClaimant(t *testing.T) {
+	m := newSim(t, 1, nil)
+	c := m.s.Claimant("c", Batch)
+	m.hold(c)
+	ws := make([]*waiter, 5)
+	for i := range ws {
+		ws[i] = m.enqueue(c)
+	}
+	for i := range ws {
+		m.s.mu.Lock()
+		m.s.releaseLocked()
+		m.s.mu.Unlock()
+		select {
+		case <-ws[i].ch:
+		default:
+			t.Fatalf("grant %d went out of arrival order", i)
+		}
+	}
+}
+
+// TestNoBarging checks that a momentarily free slot cannot be stolen
+// past the queue by TryAcquire.
+func TestNoBarging(t *testing.T) {
+	m := newSim(t, 2, nil)
+	a := m.s.Claimant("a", Interactive)
+	b := m.s.Claimant("b", Background)
+	m.hold(a)
+	// One slot is still free, but b has a queued waiter: TryAcquire
+	// must refuse rather than barge (this state only arises transiently
+	// in live runs — during a cancel/grant race — but the invariant is
+	// what keeps handoff fair).
+	w := m.enqueue(b)
+	if a.TryAcquire() {
+		t.Fatal("TryAcquire barged past a queued waiter")
+	}
+	m.s.mu.Lock()
+	m.s.releaseLocked()
+	m.s.mu.Unlock()
+	select {
+	case <-w.ch:
+	default:
+		t.Fatal("queued waiter not served by release")
+	}
+	if !a.TryAcquire() {
+		t.Fatal("TryAcquire failed with a free slot and an empty queue")
+	}
+}
+
+// TestCancelRemovesWaiter checks that an abandoned wait leaves no
+// queue residue and no lost slots.
+func TestCancelRemovesWaiter(t *testing.T) {
+	m := newSim(t, 1, nil)
+	c := m.s.Claimant("c", Batch)
+	m.hold(c)
+	w := m.enqueue(c)
+	m.s.cancel(w)
+	if d := m.s.QueueDepth(); d != 0 {
+		t.Fatalf("queue depth %d after cancel, want 0", d)
+	}
+	c.Release()
+	if got := m.s.InUse(); got != 0 {
+		t.Fatalf("InUse %d after release, want 0", got)
+	}
+	if !c.TryAcquire() {
+		t.Fatal("slot lost after cancel+release")
+	}
+}
+
+// TestCancelAfterGrantReturnsSlot exercises the race where a waiter is
+// granted a slot concurrently with its timeout: the cancel path must
+// hand the slot onward (or free it) rather than leak it.
+func TestCancelAfterGrantReturnsSlot(t *testing.T) {
+	m := newSim(t, 1, nil)
+	a := m.s.Claimant("a", Batch)
+	b := m.s.Claimant("b", Interactive)
+	m.hold(a)
+	wa := m.enqueue(a)
+	wb := m.enqueue(b)
+	// Release grants b (interactive wins); b then "times out" having
+	// already been granted.
+	m.s.mu.Lock()
+	m.s.releaseLocked()
+	m.s.mu.Unlock()
+	if !wb.granted {
+		t.Fatal("expected the interactive waiter to win the release")
+	}
+	m.s.cancel(wb)
+	// The slot b abandoned must flow to a's waiter, not vanish.
+	select {
+	case <-wa.ch:
+	default:
+		t.Fatal("slot abandoned by a granted-then-cancelled waiter was not re-granted")
+	}
+	a.Release()
+	if got := m.s.InUse(); got != 0 {
+		t.Fatalf("InUse = %d, want 0 (no outstanding holds)", got)
+	}
+	if !a.TryAcquire() {
+		t.Fatal("slot lost through the cancel-after-grant path")
+	}
+}
+
+// TestAcquireWaitTimeoutAndStop covers the live blocking paths: a
+// timeout on an exhausted scheduler returns false promptly, and a stop
+// close aborts an indefinite wait.
+func TestAcquireWaitTimeoutAndStop(t *testing.T) {
+	s := NewScheduler(1, nil)
+	c := s.Claimant("c", Batch)
+	if !c.TryAcquire() {
+		t.Fatal("seed acquire failed")
+	}
+	if c.AcquireWait(5*time.Millisecond, nil) {
+		t.Fatal("AcquireWait acquired a slot on an exhausted scheduler")
+	}
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() { done <- c.AcquireWait(0, stop) }()
+	close(stop)
+	if <-done {
+		t.Fatal("AcquireWait returned true after stop")
+	}
+	if d := s.QueueDepth(); d != 0 {
+		t.Fatalf("queue depth %d after abandoned waits, want 0", d)
+	}
+	c.Release()
+	if !c.AcquireWait(0, nil) {
+		t.Fatal("AcquireWait failed with a free slot")
+	}
+}
+
+// TestAccountingAndConfig covers the small contract surface: clamping,
+// counters, weights, and class parsing.
+func TestAccountingAndConfig(t *testing.T) {
+	s := NewScheduler(0, map[Class]int{Background: -3})
+	if s.Slots() != 1 {
+		t.Fatalf("Slots = %d, want clamp to 1", s.Slots())
+	}
+	if w := s.Weight(Background); w != 1 {
+		t.Fatalf("Background weight = %d, want clamp to 1", w)
+	}
+	if w := s.Weight(Interactive); w != DefaultWeights()[Interactive] {
+		t.Fatalf("Interactive weight = %d, want default %d", w, DefaultWeights()[Interactive])
+	}
+	if w := s.Weight(Class(99)); w != 1 {
+		t.Fatalf("out-of-range weight = %d, want 1", w)
+	}
+	c := s.Claimant("x", Class(42))
+	if c.Class() != Batch {
+		t.Fatalf("out-of-range class mapped to %v, want batch", c.Class())
+	}
+	if c.Name() != "x" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if !c.TryAcquire() {
+		t.Fatal("acquire failed")
+	}
+	if got := s.InUse(); got != 1 {
+		t.Fatalf("InUse = %d, want 1", got)
+	}
+	if c.TryAcquire() {
+		t.Fatal("second acquire succeeded on a 1-slot scheduler")
+	}
+	if g := s.Grants()[Batch]; g != 1 {
+		t.Fatalf("Grants[batch] = %d, want 1", g)
+	}
+	if d := s.Denied()[Batch]; d != 1 {
+		t.Fatalf("Denied[batch] = %d, want 1", d)
+	}
+	c.Release()
+	c.Release() // over-release must not inflate the pool
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after over-release, want 0", got)
+	}
+	for _, class := range Classes() {
+		got, err := ParseClass(class.String())
+		if err != nil || got != class {
+			t.Fatalf("ParseClass(%q) = %v, %v", class.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("vip"); err == nil {
+		t.Fatal("ParseClass accepted an unknown class")
+	}
+	if Class(99).String() == "" {
+		t.Fatal("out-of-range String is empty")
+	}
+}

@@ -69,6 +69,12 @@ type CreateSessionRequest struct {
 	CacheSize int `json:"cache_size,omitempty"`
 	// NoFlip applies planarcert.WithoutFlip.
 	NoFlip bool `json:"no_flip,omitempty"`
+	// QoS is the session's quality-of-service class for fair-share
+	// scheduling: "interactive", "batch" or "background" (default: the
+	// server's Config.DefaultQoS). A reprove storm in one class cannot
+	// starve batches in another — contended execution and worker slots
+	// are granted by class weight.
+	QoS string `json:"qos,omitempty"`
 }
 
 // SessionStatus is the REST representation of one live session.
@@ -95,6 +101,11 @@ type SessionStatus struct {
 	Last *planarcert.SessionReport `json:"last,omitempty"`
 	// CreatedAt is the session creation time.
 	CreatedAt time.Time `json:"created_at"`
+	// QoS is the session's quality-of-service class.
+	QoS string `json:"qos,omitempty"`
+	// RepairThreshold is the session's current repair threshold; with
+	// adaptive tuning on it drifts from the requested value.
+	RepairThreshold int `json:"repair_threshold,omitempty"`
 	// Durable reports whether the session is backed by a WAL + snapshots.
 	Durable bool `json:"durable,omitempty"`
 	// WalSeq is the highest durable WAL sequence number (durable only).
@@ -137,6 +148,11 @@ type UpdatesResponse struct {
 	// Queued: an apply or flush absorbs everything pending, including
 	// updates queued earlier by other clients.
 	Report *planarcert.SessionReport `json:"report,omitempty"`
+	// ElapsedSeconds is the server-side batch execution time
+	// (repair/re-prove + verification + persistence), excluding the
+	// admission-queue and session-lock waits — the round trip minus
+	// this is time spent queueing.
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
 }
 
 // WireCertificate is the JSON form of one node's certificate.

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pathEdgeList returns the edge-list text of a path on n nodes.
+func pathEdgeList(n int) string {
+	var b strings.Builder
+	for i := 0; i < n-1; i++ {
+		fmt.Fprintf(&b, "%d %d\n", i, i+1)
+	}
+	return b.String()
+}
+
+// p95 returns the 95th-percentile of the samples.
+func p95(samples []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(0.95*float64(len(s)-1))]
+}
+
+// TestRepairNotStarvedByReproveStorm is the starvation regression test
+// for the fair-share admission scheduler: one background-class session
+// hammered by 8 concurrent clients with repair disabled (every batch is
+// a full re-prove) must not starve 15 interactive repair sessions.
+//
+// The guarantee under test: an interactive batch waits for at most the
+// re-prove IN SERVICE when it arrives (admission is not preemptive),
+// never for the storm's whole backlog — weighted min-pass selection
+// grants queued interactive claimants ahead of the storm on every
+// release. The bound is therefore phrased against both measured
+// baselines: repair p95 under storm must stay within a fixed multiple
+// of (isolated repair p95 + storm batch p95). A FIFO admission queue
+// fails it: each repair would queue behind ~8 storm re-proves.
+func TestRepairNotStarvedByReproveStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	const (
+		repairSessions = 15
+		stormClients   = 8
+		perSession     = 8 // measured repair batches per session
+	)
+	_, ts := newTestServer(t, Config{
+		ExecSlots:   1, // serialize execution: contention is the point
+		BudgetSlots: 1,
+		TraceRing:   -1, // timing test: no tracer overhead
+	})
+
+	// The storm session re-proves a 300-node path on every batch
+	// (repair_threshold -1 disables repair); the repair sessions absorb
+	// single-edge toggles on 10-node paths incrementally.
+	doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]interface{}{
+		"name": "storm", "qos": "background", "repair_threshold": -1,
+		"graph": map[string]string{"edge_list": pathEdgeList(300)},
+	}, http.StatusCreated, nil)
+	for i := 0; i < repairSessions; i++ {
+		doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]interface{}{
+			"name": fmt.Sprintf("repair-%d", i), "qos": "interactive",
+			"graph": map[string]string{"edge_list": pathEdgeList(10)},
+		}, http.StatusCreated, nil)
+	}
+
+	// toggle issues one repair-sized batch: add a chord, then remove it
+	// on the next call, so the topology stays bounded and planar.
+	toggle := func(session string, add bool) time.Duration {
+		t.Helper()
+		op := "add_edge"
+		if !add {
+			op = "remove_edge"
+		}
+		body := fmt.Sprintf(`{"op":%q,"a":0,"b":2}`, op)
+		start := time.Now()
+		doJSON(t, "POST", ts.URL+"/v1/sessions/"+session+"/updates", body, http.StatusOK, nil)
+		return time.Since(start)
+	}
+
+	// Isolated baseline: every repair session absorbs its batches with
+	// the admission queue empty.
+	var isolated []time.Duration
+	for i := 0; i < repairSessions; i++ {
+		name := fmt.Sprintf("repair-%d", i)
+		for j := 0; j < perSession; j++ {
+			isolated = append(isolated, toggle(name, j%2 == 0))
+		}
+	}
+
+	// Storm phase: stormClients goroutines hammer the storm session
+	// while every repair session re-runs its batches concurrently.
+	var (
+		stormMu    sync.Mutex
+		stormDur   []time.Duration
+		stopStorm  = make(chan struct{})
+		stormWg    sync.WaitGroup
+		measureWg  sync.WaitGroup
+		measMu     sync.Mutex
+		underStorm []time.Duration
+	)
+	for c := 0; c < stormClients; c++ {
+		stormWg.Add(1)
+		go func(c int) {
+			defer stormWg.Done()
+			// Each client toggles its own chord so concurrent batches
+			// never cancel each other out structurally.
+			a, b := 3*c+1, 3*c+3
+			add := true
+			for {
+				select {
+				case <-stopStorm:
+					return
+				default:
+				}
+				op := "add_edge"
+				if !add {
+					op = "remove_edge"
+				}
+				add = !add
+				body := fmt.Sprintf(`{"op":%q,"a":%d,"b":%d}`, op, a, b)
+				start := time.Now()
+				doJSON(t, "POST", ts.URL+"/v1/sessions/storm/updates", body, http.StatusOK, nil)
+				d := time.Since(start)
+				stormMu.Lock()
+				stormDur = append(stormDur, d)
+				stormMu.Unlock()
+			}
+		}(c)
+	}
+	// Let the storm saturate the admission queue before measuring.
+	time.Sleep(50 * time.Millisecond)
+
+	for i := 0; i < repairSessions; i++ {
+		measureWg.Add(1)
+		go func(i int) {
+			defer measureWg.Done()
+			name := fmt.Sprintf("repair-%d", i)
+			for j := 0; j < perSession; j++ {
+				d := toggle(name, j%2 == 0)
+				measMu.Lock()
+				underStorm = append(underStorm, d)
+				measMu.Unlock()
+			}
+		}(i)
+	}
+	measureWg.Wait()
+	close(stopStorm)
+	stormWg.Wait()
+
+	if t.Failed() {
+		return // a request failed inside a goroutine; latencies are meaningless
+	}
+	isoP95, stormP95, underP95 := p95(isolated), p95(stormDur), p95(underStorm)
+	t.Logf("repair p95 isolated=%v under-storm=%v; storm batch p95=%v (%d storm batches)",
+		isoP95, underP95, stormP95, len(stormDur))
+
+	// Generous but discriminating: the fair-share bound is ~1 storm
+	// batch of waiting; FIFO behind 8 storm clients would be ~8.
+	bound := 10*isoP95 + 4*stormP95 + 50*time.Millisecond
+	if underP95 > bound {
+		t.Fatalf("repair p95 under storm = %v exceeds fairness bound %v (isolated p95 %v, storm batch p95 %v)",
+			underP95, bound, isoP95, stormP95)
+	}
+}

@@ -90,21 +90,27 @@ func (h *histogram) writeSeries(w io.Writer, name, extraLabels string) {
 	}
 }
 
-// histVec is a histogram family keyed by (scheme, mode) labels — the
-// per-scheme/per-mode batch latency decomposition. Safe for concurrent
-// use; label sets are created on first observation.
+// histVec is a histogram family keyed by two labels (e.g. scheme/mode
+// for the per-scheme batch latency decomposition, class/mode for the
+// QoS view). Safe for concurrent use; label sets are created on first
+// observation.
 type histVec struct {
+	labels [2]string // label names, in key order
 	mu     sync.Mutex
 	bounds []float64
 	hists  map[[2]string]*histogram
 }
 
-func newHistVec(bounds []float64) *histVec {
-	return &histVec{bounds: bounds, hists: make(map[[2]string]*histogram)}
+func newHistVec(bounds []float64, label0, label1 string) *histVec {
+	return &histVec{
+		labels: [2]string{label0, label1},
+		bounds: bounds,
+		hists:  make(map[[2]string]*histogram),
+	}
 }
 
-func (v *histVec) observe(scheme, mode string, x float64) {
-	key := [2]string{scheme, mode}
+func (v *histVec) observe(val0, val1 string, x float64) {
+	key := [2]string{val0, val1}
 	v.mu.Lock()
 	h := v.hists[key]
 	if h == nil {
@@ -136,7 +142,7 @@ func (v *histVec) write(w io.Writer, name, help string) {
 	v.mu.Unlock()
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	for i, k := range keys {
-		hists[i].writeSeries(w, name, fmt.Sprintf("scheme=%q,mode=%q", k[0], k[1]))
+		hists[i].writeSeries(w, name, fmt.Sprintf("%s=%q,%s=%q", v.labels[0], k[0], v.labels[1], k[1]))
 	}
 }
 
@@ -151,6 +157,13 @@ type metrics struct {
 	watchEvents     atomic.Uint64
 	watchDropped    atomic.Uint64
 	httpRequests    atomic.Uint64
+
+	// Hardening layer.
+	authFailures      atomic.Uint64 // requests rejected for a bad/missing token
+	rateLimited       atomic.Uint64 // requests rejected by the client rate limiter
+	admitTimeouts     atomic.Uint64 // batches rejected after AdmitTimeout in the admission queue
+	sessionsEvicted   atomic.Uint64 // sessions LRU-evicted to admit new ones
+	thresholdAdjusted atomic.Uint64 // adaptive repair-threshold changes applied
 
 	// Durability layer (zero on a non-durable server).
 	walAppends       atomic.Uint64
@@ -167,8 +180,10 @@ type metrics struct {
 	batchSeconds  *histogram // end-to-end flush latency (repair/prove + verify)
 	verifySeconds *histogram // explicit full-verification latency
 	budgetWait    *histogram // per-batch budget-slot acquisition wait
+	admitWait     *histogram // per-batch admission-queue wait
 	frontierNodes *histogram // nodes re-verified per batch (frontier size)
 	modeSeconds   *histVec   // batch latency by (scheme, mode)
+	classSeconds  *histVec   // batch latency by (class, mode)
 
 	// Build identity, resolved once at construction from the binary's
 	// embedded build info; rendered as the planarcertd_build_info gauge.
@@ -183,8 +198,10 @@ func newMetrics() *metrics {
 		batchSeconds:  newHistogram(verifyBuckets),
 		verifySeconds: newHistogram(verifyBuckets),
 		budgetWait:    newHistogram(waitBuckets),
+		admitWait:     newHistogram(waitBuckets),
 		frontierNodes: newHistogram(frontierBuckets),
-		modeSeconds:   newHistVec(verifyBuckets),
+		modeSeconds:   newHistVec(verifyBuckets, "scheme", "mode"),
+		classSeconds:  newHistVec(verifyBuckets, "class", "mode"),
 		buildVersion:  version,
 		buildRevision: revision,
 	}
@@ -197,15 +214,16 @@ func (m *metrics) recoverySeconds() float64 {
 }
 
 // batchDone records one successfully flushed batch: total and per-mode
-// counters, the end-to-end latency (overall and by scheme/mode), and
-// the verified-frontier size.
-func (m *metrics) batchDone(mode, scheme string, updates, verified int, seconds float64) {
+// counters, the end-to-end latency (overall, by scheme/mode and by QoS
+// class/mode), and the verified-frontier size.
+func (m *metrics) batchDone(mode, scheme, class string, updates, verified int, seconds float64) {
 	m.updatesTotal.Add(uint64(updates))
 	m.modeMu.Lock()
 	m.modes[mode]++
 	m.modeMu.Unlock()
 	m.batchSeconds.observe(seconds)
 	m.modeSeconds.observe(scheme, mode, seconds)
+	m.classSeconds.observe(class, mode, seconds)
 	m.frontierNodes.observe(float64(verified))
 }
 
@@ -227,6 +245,15 @@ type liveStats struct {
 	watchers         int
 	budgetSlots      int
 	budgetInUse      int
+	budgetQueueDepth int
+	execSlots        int
+	execInUse        int
+	execQueueDepth   int
+	// budgetGrants and execGrants are cumulative scheduler grants by QoS
+	// class name, rendered as the planarcertd_qos_grants_total family.
+	budgetGrants map[string]uint64
+	execGrants   map[string]uint64
+
 	traceDropSampled uint64
 	traceDropEvicted uint64
 }
@@ -246,6 +273,10 @@ func (m *metrics) write(w io.Writer, live liveStats) {
 	gauge("planarcertd_watchers_active", "Number of open watch streams.", live.watchers)
 	gauge("planarcertd_worker_budget_slots", "Extra verification worker slots shared by all sessions.", live.budgetSlots)
 	gauge("planarcertd_worker_budget_in_use", "Extra verification worker slots currently held.", live.budgetInUse)
+	gauge("planarcertd_worker_budget_queue_depth", "Engines waiting for a worker budget slot.", live.budgetQueueDepth)
+	gauge("planarcertd_exec_slots", "Concurrent batch-execution slots shared by all sessions.", live.execSlots)
+	gauge("planarcertd_exec_in_use", "Batch-execution slots currently held.", live.execInUse)
+	gauge("planarcertd_exec_queue_depth", "Batches waiting in the fair-share admission queue.", live.execQueueDepth)
 	counter("planarcertd_sessions_created_total", "Sessions created since start.", m.sessionsCreated.Load())
 	counter("planarcertd_sessions_deleted_total", "Sessions deleted since start.", m.sessionsDeleted.Load())
 	counter("planarcertd_updates_total", "Topology updates absorbed across all sessions.", m.updatesTotal.Load())
@@ -260,6 +291,26 @@ func (m *metrics) write(w io.Writer, live liveStats) {
 	counter("planarcertd_sessions_recovery_failed_total", "Session directories that could not be restored at boot.", m.recoveryFailed.Load())
 	counter("planarcertd_wal_appends_total", "Update batches appended to per-session WALs.", m.walAppends.Load())
 	counter("planarcertd_snapshots_written_total", "Certificate snapshots written.", m.snapshotsWritten.Load())
+	counter("planarcertd_auth_failures_total", "Requests rejected for a missing or invalid bearer token.", m.authFailures.Load())
+	counter("planarcertd_rate_limited_total", "Requests rejected by the per-client rate limiter.", m.rateLimited.Load())
+	counter("planarcertd_admit_timeouts_total", "Batches rejected after timing out in the admission queue.", m.admitTimeouts.Load())
+	counter("planarcertd_sessions_evicted_total", "Sessions evicted by the LRU policy to admit new ones.", m.sessionsEvicted.Load())
+	counter("planarcertd_repair_threshold_adjustments_total", "Adaptive repair-threshold changes applied.", m.thresholdAdjusted.Load())
+
+	fmt.Fprintf(w, "# HELP planarcertd_qos_grants_total Scheduler grants by pool (exec admission vs worker budget) and QoS class.\n")
+	fmt.Fprintf(w, "# TYPE planarcertd_qos_grants_total counter\n")
+	writeGrants := func(pool string, grants map[string]uint64) {
+		classes := make([]string, 0, len(grants))
+		for class := range grants {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			fmt.Fprintf(w, "planarcertd_qos_grants_total{pool=%q,class=%q} %d\n", pool, class, grants[class])
+		}
+	}
+	writeGrants("budget", live.budgetGrants)
+	writeGrants("exec", live.execGrants)
 
 	fmt.Fprintf(w, "# HELP planarcertd_trace_dropped_total Batch traces dropped by the tracer, by reason (sampled out vs evicted from the ring).\n")
 	fmt.Fprintf(w, "# TYPE planarcertd_trace_dropped_total counter\n")
@@ -281,6 +332,8 @@ func (m *metrics) write(w io.Writer, live liveStats) {
 	m.batchSeconds.write(w, "planarcertd_batch_seconds", "End-to-end flush latency (repair/re-prove + verification).")
 	m.verifySeconds.write(w, "planarcertd_verify_seconds", "Full 1-round verification latency.")
 	m.budgetWait.write(w, "planarcertd_budget_wait_seconds", "Per-batch wait for shared verification budget slots.")
+	m.admitWait.write(w, "planarcertd_admit_wait_seconds", "Per-batch wait in the fair-share admission queue.")
 	m.frontierNodes.write(w, "planarcertd_batch_frontier_nodes", "Nodes re-verified per batch (the dirty frontier; n for a full sweep).")
 	m.modeSeconds.write(w, "planarcertd_batch_mode_seconds", "Batch latency by scheme and absorption mode.")
+	m.classSeconds.write(w, "planarcertd_batch_class_seconds", "Batch latency by QoS class and absorption mode.")
 }

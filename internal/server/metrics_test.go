@@ -30,7 +30,7 @@ func TestMetricsConcurrentHammer(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
-				m.batchDone(modes[i%len(modes)], schemes[(g+i)%len(schemes)], i%5, i%300, float64(i%100)/1e4)
+				m.batchDone(modes[i%len(modes)], schemes[(g+i)%len(schemes)], "batch", i%5, i%300, float64(i%100)/1e4)
 				m.budgetWait.observe(float64(i%10) / 1e6)
 				m.verifySeconds.observe(float64(i%10) / 1e3)
 			}

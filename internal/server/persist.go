@@ -89,14 +89,16 @@ func (s *Server) recoverSession(dir string) error {
 	}
 	// Restore at the snapshot point: the verification sweep checks the
 	// certificates against the exact topology they were written for, so
-	// a clean snapshot is accepted without re-proving.
+	// a clean snapshot is accepted without re-proving. The snapshot
+	// format is frozen and carries no QoS class, so restored sessions
+	// run in the server's default class.
 	ps, err := planarcert.RestoreSession(&planarcert.SessionSnapshot{
 		Scheme:       planarcert.SchemeName(snap.Scheme),
 		ActiveScheme: planarcert.SchemeName(snap.ActiveScheme),
 		Generation:   snap.Generation,
 		Network:      net,
 		Certificates: certificatesOf(snap.Certs),
-	}, s.cfg.Engine, popts.options()...)
+	}, s.engineFor(snap.Name, s.defaultQoS), popts.options()...)
 	if err != nil {
 		st.Close()
 		return fmt.Errorf("server: restore %q: %w", snap.Name, err)
@@ -125,6 +127,7 @@ func (s *Server) recoverSession(dir string) error {
 	}
 
 	ms := newSession(snap.Name, planarcert.SchemeName(snap.Scheme), ps, s.cfg.WatchBuffer)
+	ms.qos = s.defaultQoS
 	s.adopt(ms)
 	ms.store = st
 	ms.popts = popts

@@ -63,7 +63,9 @@ import (
 	"time"
 
 	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/dynamic"
 	"github.com/planarcert/planarcert/internal/obs"
+	"github.com/planarcert/planarcert/internal/qos"
 	"github.com/planarcert/planarcert/internal/wal"
 )
 
@@ -107,6 +109,40 @@ type Config struct {
 	// always retained, bypassing the sampler (0 = 100ms; negative
 	// disables slow retention).
 	TraceSlow time.Duration
+
+	// AuthTokens, when non-empty, requires every request (except
+	// /healthz, /readyz and /metrics) to carry one of these bearer
+	// tokens; comparison is constant-time across the whole list.
+	AuthTokens []string
+	// RateLimit is the sustained per-client request rate (requests per
+	// second; the client is the bearer token, or the remote host when
+	// auth is off). 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the per-client burst allowance (0 = max(8, 2×RateLimit)).
+	RateBurst int
+	// QoSWeights overrides the fair-share weights per QoS class for both
+	// the worker budget and the batch admission scheduler (nil entries
+	// take the defaults: interactive 16, batch 4, background 1).
+	QoSWeights map[planarcert.QoSClass]int
+	// ExecSlots bounds the number of batches executing concurrently
+	// across all sessions; excess batches wait in the weighted
+	// fair-share admission queue (0 = max(4, 2×GOMAXPROCS)).
+	ExecSlots int
+	// AdmitTimeout bounds the admission-queue wait before a batch is
+	// rejected with 503 (0 = 30s).
+	AdmitTimeout time.Duration
+	// DefaultQoS is the QoS class of sessions that do not request one,
+	// and of every session restored from durable state ("" = "batch").
+	DefaultQoS string
+	// EvictLRU evicts the least-recently-used session instead of
+	// rejecting creation with 429 when MaxSessions is reached. Durable
+	// victims keep their on-disk state and are recoverable at next boot.
+	EvictLRU bool
+	// AdaptiveRepair lets each session tune its own repair threshold
+	// from observed repair-vs-reprove latencies (see
+	// dynamic.ThresholdTuner); explicit SetRepairThreshold semantics are
+	// preserved — a disabled threshold is never re-enabled.
+	AdaptiveRepair bool
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +161,24 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 32
 	}
+	if c.ExecSlots <= 0 {
+		c.ExecSlots = 2 * runtime.GOMAXPROCS(0)
+		if c.ExecSlots < 4 {
+			c.ExecSlots = 4
+		}
+	}
+	if c.AdmitTimeout <= 0 {
+		c.AdmitTimeout = 30 * time.Second
+	}
+	if c.RateLimit > 0 && c.RateBurst <= 0 {
+		c.RateBurst = int(2 * c.RateLimit)
+		if c.RateBurst < 8 {
+			c.RateBurst = 8
+		}
+	}
+	if c.DefaultQoS == "" {
+		c.DefaultQoS = qos.Batch.String()
+	}
 	return c
 }
 
@@ -140,6 +194,22 @@ type Server struct {
 	// is disabled (Config.TraceRing < 0) — every span operation is
 	// nil-safe, so the instrumented paths need no conditionals.
 	tracer *obs.Tracer
+
+	// exec is the batch-admission scheduler: a second fair-share
+	// scheduler gating how many batches EXECUTE concurrently (the worker
+	// budget only shares out extra verification workers within an
+	// executing batch). Every session holds a claimant on it in its QoS
+	// class, so a reprove storm queues behind its own weight instead of
+	// monopolizing the CPU ahead of interactive repairs.
+	exec *qos.Scheduler
+	// execAnon admits the one-shot certify/verify endpoints, which have
+	// no session to carry a class; they ride as interactive.
+	execAnon *qos.Claimant
+	// limiter is the per-client token-bucket rate limiter; nil when
+	// Config.RateLimit is 0.
+	limiter *rateLimiter
+	// defaultQoS is Config.DefaultQoS parsed once at construction.
+	defaultQoS qos.Class
 
 	// root is the durability layer's data directory; nil until Recover
 	// opens it (and forever nil when Config.DataDir is empty).
@@ -161,11 +231,21 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
-		budget:   planarcert.NewWorkerBudget(cfg.BudgetSlots),
+		budget:   planarcert.NewWorkerBudgetWeights(cfg.BudgetSlots, cfg.QoSWeights),
 		met:      newMetrics(),
 		start:    time.Now(),
 		mux:      http.NewServeMux(),
 		sessions: make(map[string]*session),
+		exec:     qos.NewScheduler(cfg.ExecSlots, cfg.QoSWeights),
+	}
+	s.execAnon = s.exec.Claimant("one-shot", qos.Interactive)
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst, time.Now)
+	}
+	if c, err := qos.ParseClass(cfg.DefaultQoS); err == nil {
+		s.defaultQoS = c
+	} else {
+		s.defaultQoS = qos.Batch
 	}
 	if cfg.TraceRing >= 0 {
 		s.tracer = obs.New(obs.Config{
@@ -202,23 +282,46 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// adopt wires a session into the server's metrics and snapshot policy.
+// adopt wires a session into the server's metrics, snapshot policy and
+// admission scheduler. The caller must have set ms.qos first: the
+// admission claimant is minted here in that class.
 func (s *Server) adopt(ms *session) {
 	ms.met = s.met
 	ms.snapEvery = s.cfg.SnapshotEvery
+	ms.execClaim = s.exec.Claimant(ms.name, ms.qos)
+	if s.cfg.AdaptiveRepair {
+		ms.tuner = &dynamic.ThresholdTuner{}
+	}
 	ms.broadcastHook = func(delivered, dropped int) {
 		s.met.watchEvents.Add(uint64(delivered))
 		s.met.watchDropped.Add(uint64(dropped))
 	}
 }
 
-// Handler returns the HTTP handler with request accounting. Session
-// endpoints are gated behind boot recovery: until Recover completes
-// they answer 503, so a load balancer probing /readyz and a client
-// racing the boot see the same story.
+// Handler returns the HTTP handler with request accounting, bearer
+// auth and per-client rate limiting (probes and /metrics are exempt
+// from both — see exemptPath). Session endpoints are gated behind boot
+// recovery: until Recover completes they answer 503, so a load
+// balancer probing /readyz and a client racing the boot see the same
+// story.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.met.httpRequests.Add(1)
+		if !exemptPath(r.URL.Path) {
+			token, ok := s.authorize(r)
+			if !ok {
+				s.met.authFailures.Add(1)
+				w.Header().Set("WWW-Authenticate", `Bearer realm="planarcertd"`)
+				writeError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+				return
+			}
+			if !s.limiter.allow(clientKey(r, token)) {
+				s.met.rateLimited.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "client rate limit exceeded")
+				return
+			}
+		}
 		if !s.ready.Load() && strings.HasPrefix(r.URL.Path, "/v1/sessions") {
 			writeError(w, http.StatusServiceUnavailable, "recovering: session replay in progress")
 			return
@@ -337,14 +440,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	sampled, evicted := s.tracer.Dropped()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, liveStats{
+	live := liveStats{
 		activeSessions:   active,
 		watchers:         watchers,
 		budgetSlots:      s.budget.Slots(),
 		budgetInUse:      s.budget.InUse(),
+		budgetQueueDepth: s.budget.QueueDepth(),
+		execSlots:        s.exec.Slots(),
+		execInUse:        s.exec.InUse(),
+		execQueueDepth:   s.exec.QueueDepth(),
+		budgetGrants:     make(map[string]uint64),
+		execGrants:       make(map[string]uint64),
 		traceDropSampled: sampled,
 		traceDropEvicted: evicted,
-	})
+	}
+	for class, n := range s.budget.GrantsByClass() {
+		live.budgetGrants[class.String()] = n
+	}
+	for class, n := range s.exec.Grants() {
+		live.execGrants[class.String()] = n
+	}
+	s.met.write(w, live)
 }
 
 // TracesPage is the /debug/traces response: the retained trace records
@@ -408,8 +524,13 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if !s.acquireExec(s.execAnon, nil, r.Context().Done()) {
+		writeError(w, http.StatusServiceUnavailable, "admission queue timed out")
+		return
+	}
 	start := time.Now()
 	rep, err := planarcert.VerifyWith(net, scheme, certs, s.cfg.Engine)
+	s.execAnon.Release()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "verify: %v", err)
 		return
@@ -432,8 +553,13 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad graph: %v", err)
 		return
 	}
+	if !s.acquireExec(s.execAnon, nil, r.Context().Done()) {
+		writeError(w, http.StatusServiceUnavailable, "admission queue timed out")
+		return
+	}
 	start := time.Now()
 	rep, err := planarcert.VerifyWith(net, schemeOrDefault(req.Scheme), unwireCertificates(req.Certificates), s.cfg.Engine)
+	s.execAnon.Release()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -458,6 +584,14 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w, req.Name) {
 		return
 	}
+	class := s.defaultQoS
+	if req.QoS != "" {
+		var err error
+		if class, err = qos.ParseClass(req.QoS); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	net, err := req.Graph.Network()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad graph: %v", err)
@@ -474,12 +608,13 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, planarcert.WithoutFlip())
 	}
 	scheme := schemeOrDefault(req.Scheme)
-	ps, err := planarcert.NewSession(net, scheme, s.cfg.Engine, opts...)
+	ps, err := planarcert.NewSession(net, scheme, s.engineFor(req.Name, class), opts...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	ms := newSession(req.Name, scheme, ps, s.cfg.WatchBuffer)
+	ms.qos = class
 	s.adopt(ms)
 	ms.popts = persistOpts{
 		repairThreshold: req.RepairThreshold,
@@ -503,8 +638,13 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	var victims []*session
+	if s.cfg.EvictLRU {
+		victims = s.evictForSpaceLocked()
+	}
 	s.sessions[req.Name] = ms
 	s.mu.Unlock()
+	s.finishEviction(victims)
 	if durable {
 		st, err := s.root.CreateSession(req.Name)
 		if err == nil {
@@ -547,11 +687,21 @@ func (s *Server) admitLocked(w http.ResponseWriter, name string) bool {
 	case s.sessions[name] != nil:
 		writeError(w, http.StatusConflict, "session %q already exists", name)
 		return false
-	case len(s.sessions) >= s.cfg.MaxSessions:
+	case len(s.sessions) >= s.cfg.MaxSessions && !s.cfg.EvictLRU:
 		writeError(w, http.StatusTooManyRequests, "session limit reached (%d)", s.cfg.MaxSessions)
 		return false
 	}
 	return true
+}
+
+// engineFor derives the per-session engine configuration: the shared
+// base plus a named worker-budget claimant in the session's QoS class,
+// so contended verification workers are granted by weighted fair share
+// instead of FIFO arrival order.
+func (s *Server) engineFor(name string, class qos.Class) planarcert.EngineConfig {
+	eng := s.cfg.Engine
+	eng.Claimant = s.budget.Claimant(name, class)
+	return eng
 }
 
 func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
@@ -665,6 +815,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ms.touch()
 	if mode == "queue" {
 		pending := ms.queue(updates)
 		writeJSON(w, http.StatusAccepted, UpdatesResponse{Queued: len(updates), Pending: pending})
@@ -672,7 +823,14 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sp := s.tracer.Start(ms.name, obs.SpanBatch)
+	if !s.acquireExec(ms.execClaim, sp, r.Context().Done()) {
+		sp.SetStr("error", "admission timeout")
+		sp.End()
+		writeError(w, http.StatusServiceUnavailable, "admission queue timed out (class %q)", ms.qos)
+		return
+	}
 	rep, elapsed, err := ms.apply(updates, sp)
+	ms.execClaim.Release()
 	if err != nil {
 		sp.SetStr("error", err.Error())
 		sp.End()
@@ -680,15 +838,15 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp.End()
-	s.recordBatch(sp, rep, elapsed)
-	writeJSON(w, http.StatusOK, UpdatesResponse{Queued: len(updates), Report: rep})
+	s.recordBatch(sp, ms, rep, elapsed)
+	writeJSON(w, http.StatusOK, UpdatesResponse{Queued: len(updates), Report: rep, ElapsedSeconds: elapsed.Seconds()})
 }
 
 // recordBatch feeds one flushed batch into the metrics. With tracing
 // on, the batch's budget-wait phase (summed over its sweeps) lands in
 // the budget-wait histogram — measured waiting, not inference.
-func (s *Server) recordBatch(sp *obs.Span, rep *planarcert.SessionReport, elapsed time.Duration) {
-	s.met.batchDone(rep.Mode, string(rep.ActiveScheme), rep.Updates, rep.Verified, elapsed.Seconds())
+func (s *Server) recordBatch(sp *obs.Span, ms *session, rep *planarcert.SessionReport, elapsed time.Duration) {
+	s.met.batchDone(rep.Mode, string(rep.ActiveScheme), ms.qos.String(), rep.Updates, rep.Verified, elapsed.Seconds())
 	if sp != nil {
 		s.met.budgetWait.observe(obs.Phases(sp)[obs.PhaseBudgetWait].Seconds())
 	}
@@ -718,8 +876,16 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
 		return
 	}
+	ms.touch()
 	sp := s.tracer.Start(ms.name, obs.SpanBatch)
+	if !s.acquireExec(ms.execClaim, sp, r.Context().Done()) {
+		sp.SetStr("error", "admission timeout")
+		sp.End()
+		writeError(w, http.StatusServiceUnavailable, "admission queue timed out (class %q)", ms.qos)
+		return
+	}
 	rep, elapsed, err := ms.flush(sp)
+	ms.execClaim.Release()
 	if err != nil {
 		sp.SetStr("error", err.Error())
 		sp.End()
@@ -727,8 +893,8 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp.End()
-	s.recordBatch(sp, rep, elapsed)
-	writeJSON(w, http.StatusOK, UpdatesResponse{Report: rep})
+	s.recordBatch(sp, ms, rep, elapsed)
+	writeJSON(w, http.StatusOK, UpdatesResponse{Report: rep, ElapsedSeconds: elapsed.Seconds()})
 }
 
 func (s *Server) handleSessionVerify(w http.ResponseWriter, r *http.Request) {
@@ -737,7 +903,13 @@ func (s *Server) handleSessionVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
 		return
 	}
+	ms.touch()
+	if !s.acquireExec(ms.execClaim, nil, r.Context().Done()) {
+		writeError(w, http.StatusServiceUnavailable, "admission queue timed out (class %q)", ms.qos)
+		return
+	}
 	rep, elapsed := ms.verify()
+	ms.execClaim.Release()
 	s.met.verifySeconds.observe(elapsed.Seconds())
 	writeJSON(w, http.StatusOK, rep)
 }

@@ -2,10 +2,13 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/dynamic"
 	"github.com/planarcert/planarcert/internal/obs"
+	"github.com/planarcert/planarcert/internal/qos"
 	"github.com/planarcert/planarcert/internal/wal"
 )
 
@@ -26,9 +29,25 @@ type session struct {
 	scheme  planarcert.SchemeName // scheme requested at creation
 	created time.Time
 
+	// qos is the session's QoS class, fixed at creation (the snapshot
+	// format cannot carry it, so restored sessions get the server
+	// default). execClaim is its claimant on the server's batch-admission
+	// scheduler; both are set before the session is published and never
+	// mutated afterwards.
+	qos       qos.Class
+	execClaim *qos.Claimant
+	// lastUsed is the UnixNano of the last client batch/flush/verify,
+	// the LRU eviction key. Atomic: handlers touch it without ms.mu.
+	lastUsed atomic.Int64
+
 	mu      sync.Mutex
 	s       *planarcert.Session
 	pending int // updates queued but not yet flushed
+
+	// Adaptive repair-threshold controller (nil unless the server runs
+	// with AdaptiveRepair); guarded by mu like the session it tunes.
+	tuner     *dynamic.ThresholdTuner
+	sinceTune int
 
 	// Durability (all guarded by mu; store == nil means the session is
 	// not persisted). pendingLog mirrors the queued-but-unflushed update
@@ -60,13 +79,40 @@ type session struct {
 // newSession wraps s; watchBuf must be positive (Config.withDefaults
 // guarantees it on the server path).
 func newSession(name string, scheme planarcert.SchemeName, s *planarcert.Session, watchBuf int) *session {
-	return &session{
+	ms := &session{
 		name:     name,
 		scheme:   scheme,
 		created:  time.Now(),
 		s:        s,
 		watchers: make(map[uint64]chan *planarcert.SessionReport),
 		watchBuf: watchBuf,
+	}
+	ms.touch()
+	return ms
+}
+
+// touch stamps the session as recently used (LRU eviction key).
+func (ms *session) touch() { ms.lastUsed.Store(time.Now().UnixNano()) }
+
+// tuneThresholdLocked feeds one absorbed batch into the adaptive
+// repair-threshold controller and applies its recommendation every 8th
+// batch. The caller holds ms.mu; no-op when tuning is off.
+func (ms *session) tuneThresholdLocked(rep *planarcert.SessionReport, elapsed time.Duration) {
+	if ms.tuner == nil {
+		return
+	}
+	ms.tuner.Observe(dynamic.Mode(rep.Mode), rep.RepairFallback != "", elapsed.Seconds())
+	ms.sinceTune++
+	if ms.sinceTune < 8 {
+		return
+	}
+	ms.sinceTune = 0
+	cur := ms.s.RepairThreshold()
+	if rec := ms.tuner.Recommend(cur); rec != cur {
+		ms.s.SetRepairThreshold(rec)
+		if ms.met != nil {
+			ms.met.thresholdAdjusted.Add(1)
+		}
 	}
 }
 
@@ -213,6 +259,7 @@ func (ms *session) flush(sp *obs.Span) (*planarcert.SessionReport, time.Duration
 		// the durable state converges even on a mostly-queueing workload.
 		_ = ms.writeSnapshotLocked()
 	}
+	ms.tuneThresholdLocked(rep, elapsed)
 	ms.broadcast(rep)
 	return rep, elapsed, nil
 }
@@ -256,6 +303,7 @@ func (ms *session) apply(updates []planarcert.Update, sp *obs.Span) (*planarcert
 	if err := ms.persistLoggedBatch(sp, batch); err != nil {
 		return nil, elapsed, &persistError{err}
 	}
+	ms.tuneThresholdLocked(rep, elapsed)
 	ms.broadcast(rep)
 	return rep, elapsed, nil
 }
@@ -295,16 +343,18 @@ func (ms *session) network() *planarcert.Network {
 func (ms *session) status() *SessionStatus {
 	ms.mu.Lock()
 	st := &SessionStatus{
-		Name:         ms.name,
-		Scheme:       ms.scheme,
-		ActiveScheme: ms.s.ActiveScheme(),
-		Nodes:        ms.s.N(),
-		Edges:        ms.s.M(),
-		Generation:   ms.s.Generation(),
-		Certified:    ms.s.Certified(),
-		Pending:      ms.pending,
-		Last:         ms.s.Last(),
-		CreatedAt:    ms.created,
+		Name:            ms.name,
+		Scheme:          ms.scheme,
+		ActiveScheme:    ms.s.ActiveScheme(),
+		Nodes:           ms.s.N(),
+		Edges:           ms.s.M(),
+		Generation:      ms.s.Generation(),
+		Certified:       ms.s.Certified(),
+		Pending:         ms.pending,
+		Last:            ms.s.Last(),
+		CreatedAt:       ms.created,
+		QoS:             ms.qos.String(),
+		RepairThreshold: ms.s.RepairThreshold(),
 	}
 	if ms.store != nil {
 		st.Durable = true

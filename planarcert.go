@@ -50,6 +50,7 @@ import (
 	"github.com/planarcert/planarcert/internal/planarity"
 	"github.com/planarcert/planarcert/internal/pls"
 	"github.com/planarcert/planarcert/internal/preprocess"
+	"github.com/planarcert/planarcert/internal/qos"
 )
 
 // NodeID identifies a node; identifiers are unique and drawn from a range
@@ -342,6 +343,12 @@ type EngineConfig struct {
 	// blocks on an exhausted budget — it degrades toward sequential
 	// execution instead.
 	Budget *WorkerBudget
+	// Claimant, when non-nil, draws the extra workers from the shared
+	// budget under a named per-consumer identity and QoS class (see
+	// WorkerBudget.Claimant): contended slots are granted by weighted
+	// fair share across claimants instead of first-come-first-served.
+	// Takes precedence over Budget.
+	Claimant *BudgetClaimant
 	// BudgetPatience, when positive, lets a sweep that finds the shared
 	// Budget exhausted wait up to this long (on a side goroutine, so
 	// the sweep itself keeps making progress) for one released slot
@@ -368,9 +375,17 @@ type WorkerBudget struct {
 }
 
 // NewWorkerBudget returns a budget with the given number of extra-worker
-// slots (clamped up to 1).
+// slots (clamped up to 1) and default QoS weights.
 func NewWorkerBudget(slots int) *WorkerBudget {
 	return &WorkerBudget{b: dist.NewBudget(slots)}
+}
+
+// NewWorkerBudgetWeights returns a budget with the given slot count
+// (clamped up to 1) and per-class fair-share weights; classes missing
+// from the map keep their default weight (16:4:1 for
+// interactive:batch:background).
+func NewWorkerBudgetWeights(slots int, weights map[QoSClass]int) *WorkerBudget {
+	return &WorkerBudget{b: dist.NewBudgetWeights(slots, weights)}
 }
 
 // Slots returns the configured slot count.
@@ -379,6 +394,53 @@ func (w *WorkerBudget) Slots() int { return w.b.Slots() }
 // InUse returns the number of slots currently held by running
 // verifications.
 func (w *WorkerBudget) InUse() int { return w.b.InUse() }
+
+// QueueDepth returns the number of sweeps currently waiting for a slot.
+func (w *WorkerBudget) QueueDepth() int { return w.b.Scheduler().QueueDepth() }
+
+// GrantsByClass returns the cumulative slot grants per QoS class, for
+// metrics exporters.
+func (w *WorkerBudget) GrantsByClass() map[QoSClass]uint64 {
+	return w.b.Scheduler().Grants()
+}
+
+// Claimant mints a named consumer identity on the budget in the given
+// QoS class. Engines configured with EngineConfig.Claimant compete for
+// the budget's contended slots by weighted fair share: a freed slot
+// goes to the waiting claimant with the smallest virtual time, so one
+// claimant's storm of sweeps cannot starve the others. One claimant per
+// session is the intended granularity.
+func (w *WorkerBudget) Claimant(name string, class QoSClass) *BudgetClaimant {
+	return &BudgetClaimant{c: w.b.Claimant(name, class)}
+}
+
+// BudgetClaimant is a per-consumer identity on a WorkerBudget carrying
+// a QoS class (see WorkerBudget.Claimant). Safe for concurrent use.
+type BudgetClaimant struct {
+	c *qos.Claimant
+}
+
+// Class returns the claimant's QoS class.
+func (b *BudgetClaimant) Class() QoSClass { return b.c.Class() }
+
+// QoSClass is a quality-of-service class for fair-share scheduling:
+// interactive traffic outweighs batch, which outweighs background.
+type QoSClass = qos.Class
+
+// The QoS classes, from most to least latency-sensitive.
+const (
+	// QoSInteractive is for latency-sensitive foreground sessions.
+	QoSInteractive = qos.Interactive
+	// QoSBatch is the default class for ordinary sessions.
+	QoSBatch = qos.Batch
+	// QoSBackground is for bulk work that should yield to everything
+	// else.
+	QoSBackground = qos.Background
+)
+
+// ParseQoSClass maps a class name ("interactive", "batch",
+// "background") to its QoSClass.
+func ParseQoSClass(s string) (QoSClass, error) { return qos.ParseClass(s) }
 
 func (c EngineConfig) options() []dist.Option {
 	var opts []dist.Option
@@ -396,7 +458,10 @@ func (c EngineConfig) options() []dist.Option {
 	if c.FailFast {
 		opts = append(opts, dist.FailFast())
 	}
-	if c.Budget != nil {
+	switch {
+	case c.Claimant != nil:
+		opts = append(opts, dist.LimitClaimant(c.Claimant.c))
+	case c.Budget != nil:
 		opts = append(opts, dist.Limit(c.Budget.b))
 	}
 	if c.BudgetPatience > 0 {

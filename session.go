@@ -341,6 +341,18 @@ func (s *Session) ActiveScheme() SchemeName { return SchemeName(s.d.ActiveScheme
 // initial certification).
 func (s *Session) Last() *SessionReport { return sessionReportOf(s.d.Last()) }
 
+// RepairThreshold returns the current localized-repair scope bound (-1
+// when repair is disabled).
+func (s *Session) RepairThreshold() int { return s.d.RepairThreshold() }
+
+// SetRepairThreshold rebounds the localized-repair scope for future
+// batches, with WithRepairThreshold's semantics (0 restores the
+// default, negative disables repair). Like every Session method it must
+// be serialized with Apply/Flush by the caller; planarcertd's adaptive
+// threshold controller calls it between batches when the per-mode
+// latency feedback says repair is over- or under-scoped.
+func (s *Session) SetRepairThreshold(k int) { s.d.SetRepairThreshold(k) }
+
 // Certificates returns a deep copy of the current assignment, so
 // callers mutating the map or its byte slices cannot corrupt the
 // session's internal state.
