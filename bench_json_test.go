@@ -37,6 +37,7 @@ func TestBenchSnapshotsWellFormed(t *testing.T) {
 			"ServerLoad/sessions=64/batch",
 			"ServerLoad/sessions=64/update",
 			"ServerLoad/mode=",
+			"ServerLoad/wire=",
 		},
 		"BENCH_obs.json": {
 			"TraceBench/tracing=off/batch",
@@ -173,6 +174,29 @@ func TestBenchSnapshotsWellFormed(t *testing.T) {
 	if ratio := float64(batchP95) / float64(batchMean); ratio > 10.0 {
 		t.Fatalf("committed snapshot violates the scheduling bar: batch p95/mean ratio %.1f > 10 (p95 %d ns, mean %d ns)",
 			ratio, batchP95, batchMean)
+	}
+	// The acceptance bars of the binary wire protocol, from the committed
+	// queue-mode firehose: fleet update throughput over binary frames must
+	// be at least 3x the NDJSON wire and at least 2,500 updates/s outright.
+	var wireJSONNs, wireBinNs int64
+	for _, b := range srv.Benchmarks {
+		switch b.Name {
+		case "ServerLoad/wire=json/update":
+			wireJSONNs = b.NsPerOp
+		case "ServerLoad/wire=binary/update":
+			wireBinNs = b.NsPerOp
+		}
+	}
+	if wireJSONNs == 0 || wireBinNs == 0 {
+		t.Fatal("BENCH_server.json: missing the wire=json/wire=binary update pair")
+	}
+	jsonPS := 1e9 / float64(wireJSONNs)
+	binPS := 1e9 / float64(wireBinNs)
+	if binPS < 3*jsonPS {
+		t.Fatalf("committed snapshot violates the wire bar: binary %.0f updates/s < 3 x json %.0f updates/s", binPS, jsonPS)
+	}
+	if binPS < 2500 {
+		t.Fatalf("committed snapshot violates the wire bar: binary %.0f updates/s < 2500/s absolute floor", binPS)
 	}
 
 	// The acceptance bar of the durability layer: a clean-shutdown boot

@@ -8,6 +8,7 @@
 //	experiments                 # run everything
 //	experiments -run E3         # run one experiment
 //	experiments serverload      # planarcertd load generator (BENCH_server.json)
+//	experiments wirebench       # binary-vs-JSON wire smoke + firehose comparison
 //	experiments crashloop       # SIGKILL fault injection against the durable daemon
 //	experiments recoverybench   # boot replay vs cold re-prove (BENCH_recovery.json)
 //	experiments tracebench      # tracing overhead + latency-tail attribution (BENCH_obs.json)
@@ -37,6 +38,7 @@ func main() {
 	if len(os.Args) > 1 {
 		sub := map[string]func([]string) error{
 			"serverload":    serverLoad,
+			"wirebench":     wireBench,
 			"crashloop":     crashLoop,
 			"recoverybench": recoveryBench,
 			"tracebench":    traceBench,

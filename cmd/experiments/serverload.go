@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	planarcert "github.com/planarcert/planarcert"
 	"github.com/planarcert/planarcert/internal/server"
 )
 
@@ -36,6 +37,10 @@ type loadOptions struct {
 	// (round-robin interactive/batch/background), or "" for the server
 	// default.
 	qos string
+	// wire selects the update/watch encoding the driven clients speak:
+	// "json" (NDJSON, the default), "binary" (the frozen frame protocol),
+	// or "mixed" (sessions alternate between the two).
+	wire string
 	// storm > 0 adds a background-class re-prove storm: one session with
 	// repair disabled on a stormNodes-path, hammered by storm concurrent
 	// clients for the whole run. The fair-share admission scheduler must
@@ -173,7 +178,7 @@ func runLoad(o loadOptions, afterLoad func(base string) error) (*loadStats, erro
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := driveSession(ts.URL, fmt.Sprintf("load%03d", i), qosFor(o.qos, i), o.nodes, o.batches, o.ops,
+			if err := driveSession(ts.URL, fmt.Sprintf("load%03d", i), qosFor(o.qos, i), wireFor(o.wire, i), o.nodes, o.batches, o.ops,
 				rand.New(rand.NewSource(o.seed+int64(i))),
 				&totalBatches, &totalUpdates, &watchEvents,
 				func(mode string, rt, exec time.Duration) {
@@ -237,6 +242,20 @@ func qosFor(mode string, i int) string {
 	return []string{"interactive", "batch", "background"}[i%3]
 }
 
+// wireFor maps a session index to its wire encoding under the -wire
+// flag: "mixed" alternates sessions between NDJSON and binary frames.
+func wireFor(mode string, i int) string {
+	switch mode {
+	case "binary":
+		return "binary"
+	case "mixed":
+		if i%2 == 1 {
+			return "binary"
+		}
+	}
+	return "json"
+}
+
 // serverLoad is the planarcertd load generator: it runs the in-process
 // load harness and records a throughput snapshot with per-mode latency
 // percentiles (committed as BENCH_server.json and guarded by
@@ -250,8 +269,12 @@ func serverLoad(args []string) error {
 	budget := fs.Int("budget", 0, "shared verification worker slots (0 = GOMAXPROCS)")
 	execSlots := fs.Int("exec-slots", 0, "admission-scheduler execution slots (0 = GOMAXPROCS)")
 	qosMode := fs.String("qos", "mixed", "session QoS: class name, \"mixed\" (round-robin), or \"\" for server default")
+	wireMode := fs.String("wire", "json", "update/watch wire for driven sessions: json, binary, or mixed (alternating)")
 	storm := fs.Int("storm", 4, "background re-prove storm clients (0 = no storm)")
 	stormN := fs.Int("storm-n", 300, "storm session path size")
+	fireSessions := fs.Int("fire-sessions", 8, "concurrent sessions for the wire firehose comparison (0 = skip)")
+	fireBatches := fs.Int("fire-batches", 48, "queue batches per firehose session")
+	fireOps := fs.Int("fire-ops", 512, "updates per firehose batch (rounded down to even)")
 	seed := fs.Int64("seed", 2020, "random seed")
 	out := fs.String("out", "BENCH_server.json", "snapshot output path (empty = stdout only)")
 	if err := fs.Parse(args); err != nil {
@@ -266,7 +289,7 @@ func serverLoad(args []string) error {
 
 	st, err := runLoad(loadOptions{
 		sessions: *sessions, batches: *batches, ops: *ops, nodes: *nodes, seed: *seed,
-		qos: *qosMode, storm: *storm, stormNodes: *stormN,
+		qos: *qosMode, wire: *wireMode, storm: *storm, stormNodes: *stormN,
 		server: server.Config{BudgetSlots: *budget, ExecSlots: *execSlots},
 	}, nil)
 	if err != nil {
@@ -277,8 +300,8 @@ func serverLoad(args []string) error {
 	meanNs := st.wall.Nanoseconds() / max(b, 1)
 	execP95 := st.pctExec(0.95)
 	ratio := float64(execP95.Nanoseconds()) / float64(meanNs)
-	fmt.Printf("== serverload: %d sessions x %d batches x %d ops (n=%d, qos=%s, storm=%d) ==\n",
-		*sessions, *batches, *ops, *nodes, *qosMode, *storm)
+	fmt.Printf("== serverload: %d sessions x %d batches x %d ops (n=%d, qos=%s, wire=%s, storm=%d) ==\n",
+		*sessions, *batches, *ops, *nodes, *qosMode, *wireMode, *storm)
 	fmt.Printf("wall:        %.2fs\n", st.wall.Seconds())
 	fmt.Printf("batches:     %d (%.0f/s)\n", b, float64(b)/st.wall.Seconds())
 	fmt.Printf("updates:     %d (%.0f/s)\n", u, float64(u)/st.wall.Seconds())
@@ -298,6 +321,18 @@ func serverLoad(args []string) error {
 	for _, m := range modes {
 		ds := st.byMode[m]
 		fmt.Printf("mode %-12s %6d batches  p50=%-12s p95=%s\n", m+":", len(ds), pctDur(ds, 0.50), pctDur(ds, 0.95))
+	}
+
+	// Transport-bound firehose: queue-mode batches isolate the wire codec
+	// plus HTTP path (no proving), run once per wire for the binary-vs-JSON
+	// throughput comparison committed alongside the classic load numbers.
+	var fire *wireComparison
+	if *fireSessions > 0 {
+		fire, err = compareWires(*fireSessions, *fireBatches, *fireOps, *seed)
+		if err != nil {
+			return err
+		}
+		printWireComparison(fire)
 	}
 
 	if *out == "" {
@@ -327,6 +362,14 @@ func serverLoad(args []string) error {
 			benchEntry{Name: fmt.Sprintf("ServerLoad/mode=%s/p95", m), NsPerOp: pctDur(ds, 0.95).Nanoseconds()},
 		)
 	}
+	var wireSec *wireSection
+	if fire != nil {
+		wireSec = fire.section()
+		bench = append(bench,
+			benchEntry{Name: "ServerLoad/wire=json/update", NsPerOp: fire.json.nsPerUpdate()},
+			benchEntry{Name: "ServerLoad/wire=binary/update", NsPerOp: fire.binary.nsPerUpdate()},
+		)
+	}
 	type fairnessStats struct {
 		QoS           string  `json:"qos"`
 		StormClients  int     `json:"storm_clients"`
@@ -352,13 +395,15 @@ func serverLoad(args []string) error {
 		Modes       map[string]uint64      `json:"modes"`
 		ModeLatency map[string]modeLatency `json:"mode_latency"`
 		Fairness    fairnessStats          `json:"fairness"`
+		Wire        *wireSection           `json:"wire,omitempty"`
 		Benchmarks  []benchEntry           `json:"benchmarks"`
 	}{
 		Note: fmt.Sprintf("planarcertd load generator under fair-share admission scheduling: %d concurrent "+
-			"sessions (qos=%s), %d batches each of %d updates, initial n=%d per session, plus a %d-client "+
+			"sessions (qos=%s, wire=%s), %d batches each of %d updates, initial n=%d per session, plus a %d-client "+
 			"background re-prove storm; batch_p95 and mode latencies are server-side execution times "+
-			"(elapsed_seconds, admission wait excluded), rt_p95 is the client round trip; regenerate with "+
-			"`go run ./cmd/experiments serverload`", *sessions, *qosMode, *batches, *ops, *nodes, *storm),
+			"(elapsed_seconds, admission wait excluded), rt_p95 is the client round trip; the wire section is the "+
+			"transport-bound queue-mode firehose comparing the NDJSON and binary frame protocols; regenerate with "+
+			"`go run ./cmd/experiments serverload`", *sessions, *qosMode, *wireMode, *batches, *ops, *nodes, *storm),
 		Date:        time.Now().Format("2006-01-02"),
 		Sessions:    *sessions,
 		Batches:     b,
@@ -381,6 +426,7 @@ func serverLoad(args []string) error {
 			RoundTripP95N: st.pct(0.95).Nanoseconds(),
 			P95MeanRatio:  ratio,
 		},
+		Wire:       wireSec,
 		Benchmarks: bench,
 	}
 	raw, err := json.MarshalIndent(snap, "", "  ")
@@ -400,8 +446,11 @@ func serverLoad(args []string) error {
 // local mirror so every batch is structurally valid), then delete the
 // session and join the watcher. observe receives every batch's
 // absorption mode (from the server's report), round-trip latency, and
-// server-side execution latency (the ack's elapsed_seconds).
-func driveSession(base, name, qos string, n, batches, ops int, rng *rand.Rand,
+// server-side execution latency (the ack's elapsed_seconds). wire
+// selects the encoding for both directions: "json" posts NDJSON and
+// scans the NDJSON watch stream, "binary" posts update-batch frames and
+// reads the version-acknowledged frame stream.
+func driveSession(base, name, qos, wire string, n, batches, ops int, rng *rand.Rand,
 	totalBatches, totalUpdates, watchEvents *atomic.Int64, observe func(mode string, rt, exec time.Duration)) error {
 
 	var spec bytes.Buffer
@@ -430,17 +479,34 @@ func driveSession(base, name, qos string, n, batches, ops int, rng *rand.Rand,
 		return fmt.Errorf("create: status %d: %s", resp.StatusCode, raw)
 	}
 
-	// Watcher: counts the NDJSON reports for this session.
-	watchResp, err := http.Get(base + "/v1/sessions/" + name + "/watch")
+	// Watcher: counts the reports broadcast for this session.
+	watchURL := base + "/v1/sessions/" + name + "/watch"
+	if wire == "binary" {
+		watchURL += "?format=binary"
+	}
+	watchResp, err := http.Get(watchURL)
 	if err != nil {
 		return err
 	}
 	watchDone := make(chan int64, 1)
 	go func() {
 		var seen int64
-		sc := bufio.NewScanner(watchResp.Body)
-		for sc.Scan() {
-			seen++
+		if wire == "binary" {
+			sc := planarcert.NewWireScanner(watchResp.Body)
+			for {
+				msg, err := sc.Next()
+				if err != nil {
+					break
+				}
+				if msg.Event != nil {
+					seen++
+				}
+			}
+		} else {
+			sc := bufio.NewScanner(watchResp.Body)
+			for sc.Scan() {
+				seen++
+			}
 		}
 		watchDone <- seen
 	}()
@@ -463,51 +529,89 @@ func driveSession(base, name, qos string, n, batches, ops int, rng *rand.Rand,
 	}
 
 	for bi := 0; bi < batches; bi++ {
-		var lines strings.Builder
-		count := 0
+		ups := make([]planarcert.Update, 0, ops)
 		for oi := 0; oi < ops; oi++ {
 			if len(added) > 0 && rng.Intn(2) == 0 {
 				k := rng.Intn(len(added))
 				c := added[k]
 				added = append(added[:k], added[k+1:]...)
 				delete(present, c)
-				fmt.Fprintf(&lines, "{\"op\":\"remove_edge\",\"a\":%d,\"b\":%d}\n", c.a, c.b)
-				count++
+				ups = append(ups, planarcert.EdgeRemove(planarcert.NodeID(c.a), planarcert.NodeID(c.b)))
 				continue
 			}
 			if c, ok := randomChord(); ok {
 				present[c] = true
 				added = append(added, c)
-				fmt.Fprintf(&lines, "{\"op\":\"add_edge\",\"a\":%d,\"b\":%d}\n", c.a, c.b)
-				count++
+				ups = append(ups, planarcert.EdgeAdd(planarcert.NodeID(c.a), planarcert.NodeID(c.b)))
 			}
 		}
-		if count == 0 {
+		if len(ups) == 0 {
 			continue
 		}
-		t0 := time.Now()
-		resp, err := http.Post(base+"/v1/sessions/"+name+"/updates", "application/x-ndjson", strings.NewReader(lines.String()))
-		if err != nil {
-			return err
+		var (
+			mode    string
+			exec    time.Duration
+			elapsed time.Duration
+		)
+		if wire == "binary" {
+			frame, err := planarcert.EncodeUpdatesFrame("apply", ups)
+			if err != nil {
+				return err
+			}
+			t0 := time.Now()
+			resp, err := http.Post(base+"/v1/sessions/"+name+"/updates", planarcert.WireContentType, bytes.NewReader(frame))
+			if err != nil {
+				return err
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			elapsed = time.Since(t0)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("batch %d: status %d: %s", bi, resp.StatusCode, raw)
+			}
+			ack, err := planarcert.DecodeBatchAckFrame(raw)
+			if err != nil {
+				return fmt.Errorf("batch %d: decode ack frame: %w", bi, err)
+			}
+			if ack.Report != nil {
+				mode = ack.Report.Mode
+			}
+			exec = ack.Elapsed
+		} else {
+			var lines strings.Builder
+			for _, u := range ups {
+				op := "add_edge"
+				if u.Op == planarcert.OpRemoveEdge {
+					op = "remove_edge"
+				}
+				fmt.Fprintf(&lines, "{\"op\":%q,\"a\":%d,\"b\":%d}\n", op, u.A, u.B)
+			}
+			t0 := time.Now()
+			resp, err := http.Post(base+"/v1/sessions/"+name+"/updates", "application/x-ndjson", strings.NewReader(lines.String()))
+			if err != nil {
+				return err
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			elapsed = time.Since(t0)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("batch %d: status %d: %s", bi, resp.StatusCode, raw)
+			}
+			var ack struct {
+				Report struct {
+					Mode string `json:"mode"`
+				} `json:"report"`
+				ElapsedSeconds float64 `json:"elapsed_seconds"`
+			}
+			if err := json.Unmarshal(raw, &ack); err != nil {
+				return fmt.Errorf("batch %d: decode ack: %w", bi, err)
+			}
+			mode = ack.Report.Mode
+			exec = time.Duration(ack.ElapsedSeconds * float64(time.Second))
 		}
-		raw, _ := io.ReadAll(resp.Body)
-		elapsed := time.Since(t0)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("batch %d: status %d: %s", bi, resp.StatusCode, raw)
-		}
-		var ack struct {
-			Report struct {
-				Mode string `json:"mode"`
-			} `json:"report"`
-			ElapsedSeconds float64 `json:"elapsed_seconds"`
-		}
-		if err := json.Unmarshal(raw, &ack); err != nil {
-			return fmt.Errorf("batch %d: decode ack: %w", bi, err)
-		}
-		observe(ack.Report.Mode, elapsed, time.Duration(ack.ElapsedSeconds*float64(time.Second)))
+		observe(mode, elapsed, exec)
 		totalBatches.Add(1)
-		totalUpdates.Add(int64(count))
+		totalUpdates.Add(int64(len(ups)))
 	}
 
 	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+name, nil)

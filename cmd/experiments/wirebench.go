@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	planarcert "github.com/planarcert/planarcert"
+	"github.com/planarcert/planarcert/internal/server"
+)
+
+// fireStats is what one wire firehose run measured.
+type fireStats struct {
+	wall    time.Duration
+	batches int64
+	updates int64
+}
+
+func (s *fireStats) updatesPerSecond() float64 {
+	if s.wall <= 0 {
+		return 0
+	}
+	return float64(s.updates) / s.wall.Seconds()
+}
+
+func (s *fireStats) nsPerUpdate() int64 { return s.wall.Nanoseconds() / max(s.updates, 1) }
+
+// wireComparison pairs the two firehose runs driven with identical
+// workloads over the NDJSON and binary wires.
+type wireComparison struct {
+	sessions, batches, ops int
+	json, binary           *fireStats
+}
+
+func (c *wireComparison) speedup() float64 {
+	j := c.json.updatesPerSecond()
+	if j == 0 {
+		return 0
+	}
+	return c.binary.updatesPerSecond() / j
+}
+
+// wireSection is the snapshot form of the comparison (BENCH_server.json).
+type wireSection struct {
+	Sessions        int     `json:"sessions"`
+	BatchesPerSess  int     `json:"batches_per_session"`
+	OpsPerBatch     int     `json:"ops_per_batch"`
+	JSONUpdatesPS   float64 `json:"json_updates_per_second"`
+	BinaryUpdatesPS float64 `json:"binary_updates_per_second"`
+	BinarySpeedup   float64 `json:"binary_speedup"`
+}
+
+func (c *wireComparison) section() *wireSection {
+	return &wireSection{
+		Sessions:        c.sessions,
+		BatchesPerSess:  c.batches,
+		OpsPerBatch:     c.ops,
+		JSONUpdatesPS:   c.json.updatesPerSecond(),
+		BinaryUpdatesPS: c.binary.updatesPerSecond(),
+		BinarySpeedup:   c.speedup(),
+	}
+}
+
+func printWireComparison(c *wireComparison) {
+	fmt.Printf("== wire firehose: %d sessions x %d queue batches x %d ops ==\n", c.sessions, c.batches, c.ops)
+	fmt.Printf("json:   %d updates in %.2fs (%.0f/s)\n", c.json.updates, c.json.wall.Seconds(), c.json.updatesPerSecond())
+	fmt.Printf("binary: %d updates in %.2fs (%.0f/s, %.1fx json)\n",
+		c.binary.updates, c.binary.wall.Seconds(), c.binary.updatesPerSecond(), c.speedup())
+}
+
+// compareWires runs the same firehose workload once per wire. The JSON
+// run goes first so warm-up noise (page cache, connection pool sizing)
+// penalizes the wire expected to win, not the baseline.
+func compareWires(sessions, batches, ops int, seed int64) (*wireComparison, error) {
+	ops &^= 1 // the toggle workload needs add/remove pairs
+	if ops < 2 {
+		ops = 2
+	}
+	_ = seed // the firehose workload is deterministic; kept for flag symmetry
+	fj, err := runFirehose("json", sessions, batches, ops)
+	if err != nil {
+		return nil, fmt.Errorf("json firehose: %w", err)
+	}
+	fb, err := runFirehose("binary", sessions, batches, ops)
+	if err != nil {
+		return nil, fmt.Errorf("binary firehose: %w", err)
+	}
+	return &wireComparison{sessions: sessions, batches: batches, ops: ops, json: fj, binary: fb}, nil
+}
+
+// runFirehose measures transport-bound fleet throughput on one wire:
+// sessions concurrent clients stream queue-mode batches, which only
+// append to the session log (no proving), so the per-update cost is the
+// client encode, the HTTP hop, the server decode, and the ack in the
+// requested encoding. Each batch alternates add/remove of the same
+// chord, so the queued log stays structurally valid for any later flush.
+func runFirehose(wire string, sessions, batches, ops int) (*fireStats, error) {
+	const nodes = 64
+	srv := server.New(server.Config{MaxSessions: sessions + 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	var spec bytes.Buffer
+	for j := 0; j < nodes-1; j++ {
+		fmt.Fprintf(&spec, "%d %d\n", j, j+1)
+	}
+	names := make([]string, sessions)
+	for i := range names {
+		names[i] = fmt.Sprintf("fire%03d", i)
+		body, err := json.Marshal(map[string]interface{}{
+			"name": names[i], "scheme": "planarity",
+			"graph": map[string]string{"edge_list": spec.String()},
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return nil, fmt.Errorf("create %s: status %d: %s", names[i], resp.StatusCode, raw)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var updates, batchCount atomic.Int64
+	errCh := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := ts.URL + "/v1/sessions/" + names[i] + "/updates"
+			ups := make([]planarcert.Update, ops)
+			for bi := 0; bi < batches; bi++ {
+				for oi := range ups {
+					a := planarcert.NodeID((oi / 2) % (nodes - 3))
+					b := a + 2
+					if oi%2 == 0 {
+						ups[oi] = planarcert.EdgeAdd(a, b)
+					} else {
+						ups[oi] = planarcert.EdgeRemove(a, b)
+					}
+				}
+				var resp *http.Response
+				var err error
+				if wire == "binary" {
+					frame, ferr := planarcert.EncodeUpdatesFrame("queue", ups)
+					if ferr != nil {
+						errCh <- ferr
+						return
+					}
+					resp, err = http.Post(url, planarcert.WireContentType, bytes.NewReader(frame))
+				} else {
+					var lines bytes.Buffer
+					for _, u := range ups {
+						op := "add_edge"
+						if u.Op == planarcert.OpRemoveEdge {
+							op = "remove_edge"
+						}
+						fmt.Fprintf(&lines, "{\"op\":%q,\"a\":%d,\"b\":%d}\n", op, u.A, u.B)
+					}
+					resp, err = http.Post(url+"?mode=queue", "application/x-ndjson", &lines)
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					errCh <- fmt.Errorf("%s firehose batch %d: status %d: %s", wire, bi, resp.StatusCode, raw)
+					return
+				}
+				// Decode the ack so both wires pay their full response path.
+				if wire == "binary" {
+					if _, err := planarcert.DecodeBatchAckFrame(raw); err != nil {
+						errCh <- fmt.Errorf("%s firehose batch %d: %w", wire, bi, err)
+						return
+					}
+				} else {
+					var ack struct {
+						Queued int `json:"queued"`
+					}
+					if err := json.Unmarshal(raw, &ack); err != nil {
+						errCh <- fmt.Errorf("%s firehose batch %d: %w", wire, bi, err)
+						return
+					}
+				}
+				updates.Add(int64(ops))
+				batchCount.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+	return &fireStats{wall: wall, batches: batchCount.Load(), updates: updates.Load()}, nil
+}
+
+// wireBench is the CI smoke for the binary wire protocol: a small
+// all-binary classic load (apply acks + version-acknowledged watch
+// streams end to end) followed by the firehose comparison, optionally
+// enforcing a minimum binary-over-JSON speedup.
+func wireBench(args []string) error {
+	fs := flag.NewFlagSet("wirebench", flag.ExitOnError)
+	sessions := fs.Int("sessions", 4, "concurrent firehose sessions")
+	batches := fs.Int("batches", 16, "queue batches per firehose session")
+	ops := fs.Int("ops", 256, "updates per firehose batch (rounded down to even)")
+	minSpeedup := fs.Float64("min-speedup", 0, "fail unless binary updates/s >= this multiple of the JSON wire (0 = report only)")
+	seed := fs.Int64("seed", 2020, "random seed for the classic load smoke")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if _, err := runLoad(loadOptions{
+		sessions: 4, batches: 4, ops: 4, nodes: 48, seed: *seed, wire: "binary",
+	}, nil); err != nil {
+		return fmt.Errorf("binary load smoke: %w", err)
+	}
+	fmt.Println("binary load smoke: ok (4 sessions x 4 apply batches over frames + binary watch)")
+
+	fire, err := compareWires(*sessions, *batches, *ops, *seed)
+	if err != nil {
+		return err
+	}
+	printWireComparison(fire)
+	if *minSpeedup > 0 && fire.speedup() < *minSpeedup {
+		return fmt.Errorf("binary wire speedup %.2fx below the %.2fx floor", fire.speedup(), *minSpeedup)
+	}
+	return nil
+}

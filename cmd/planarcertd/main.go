@@ -14,10 +14,18 @@
 //	curl -s -X POST localhost:7420/v1/sessions \
 //	     -d '{"name":"s1","scheme":"planarity","graph":{"edges":[[0,1],[1,2],[2,0]]}}'
 //	curl -s -X POST 'localhost:7420/v1/sessions/s1/updates' \
+//	     -H 'Content-Type: application/x-ndjson' \
 //	     -d '{"op":"add_node","a":3}
 //	{"op":"add_edge","a":2,"b":3}'
 //	curl -s localhost:7420/v1/sessions/s1/watch   # streams NDJSON reports
 //	curl -s -X DELETE localhost:7420/v1/sessions/s1
+//
+// High-throughput fleets can switch both directions to the binary frame
+// protocol (Content-Type application/x-planarcert-frame on POST
+// .../updates; .../watch?format=binary for a version-acknowledged event
+// stream resumable with ?sub= after reconnect; -watch-replay bounds the
+// per-session replay ring). The frame format is frozen; see
+// ARCHITECTURE.md's "Wire protocol" section.
 //
 // All sessions share one bounded verification worker budget (-budget),
 // so heavy traffic degrades gracefully toward per-session sequential
@@ -82,6 +90,7 @@ func main() {
 	budget := flag.Int("budget", 0, "shared verification worker slots across all sessions (0 = GOMAXPROCS)")
 	maxSessions := flag.Int("max-sessions", 1024, "maximum number of live sessions")
 	watchBuffer := flag.Int("watch-buffer", 16, "per-watcher report buffer before drops")
+	watchReplay := flag.Int("watch-replay", 0, "per-session events retained for binary watch resume (0 = 64, negative = off)")
 	workers := flag.Int("workers", 0, "per-verification worker bound (0 = GOMAXPROCS)")
 	shard := flag.Int("shard", 0, "nodes a worker claims per handoff (0 = engine default)")
 	seq := flag.Bool("seq", false, "force single-goroutine verification per session")
@@ -129,6 +138,7 @@ func main() {
 		MaxSessions:      *maxSessions,
 		BudgetSlots:      *budget,
 		WatchBuffer:      *watchBuffer,
+		ReplayEvents:     *watchReplay,
 		DataDir:          *dataDir,
 		Fsync:            policy,
 		SnapshotEvery:    *snapshotEvery,

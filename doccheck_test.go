@@ -25,6 +25,7 @@ var docCheckedDirs = []string{
 	"internal/qos",
 	"internal/server",
 	"internal/wal",
+	"internal/wire",
 }
 
 // TestDocComments is the repo's missing-godoc lint: every exported

@@ -31,6 +31,19 @@ type Writer struct {
 // Len returns the number of bits written so far.
 func (w *Writer) Len() int { return w.nbit }
 
+// Reset empties the writer for reuse, keeping the underlying buffer so
+// a pooled encoder (e.g. internal/wire's frame codec) does not allocate
+// per message.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// Raw returns the written bytes without copying (last byte zero-padded).
+// The slice aliases the writer's buffer and is invalidated by the next
+// write or Reset; callers that keep the stream use Bytes.
+func (w *Writer) Raw() []byte { return w.buf }
+
 // Bytes returns the stream as a byte slice (last byte zero-padded).
 func (w *Writer) Bytes() []byte {
 	out := make([]byte, len(w.buf))
@@ -81,6 +94,13 @@ func (w *Writer) WriteVar(v uint64) error {
 		return err
 	}
 	return w.WriteUint(v, n)
+}
+
+// WriteVarInt appends a signed value as a zigzag-mapped WriteVar, so
+// small magnitudes of either sign stay O(log |v|) bits. The zigzag image
+// must fit WriteVar's 63-bit payload bound: |v| < 2^62.
+func (w *Writer) WriteVarInt(v int64) error {
+	return w.WriteVar(uint64(v)<<1 ^ uint64(v>>63))
 }
 
 // Reader consumes a bit stream produced by Writer.
@@ -178,6 +198,16 @@ func (r *Reader) ReadVar() (uint64, error) {
 		return 0, err
 	}
 	return r.ReadUint(int(n))
+}
+
+// ReadVarInt consumes a value written by WriteVarInt, reversing the
+// zigzag mapping.
+func (r *Reader) ReadVarInt() (int64, error) {
+	u, err := r.ReadVar()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
 }
 
 // bitLen returns the minimal number of bits to represent v (0 -> 0).

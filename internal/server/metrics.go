@@ -165,6 +165,14 @@ type metrics struct {
 	sessionsEvicted   atomic.Uint64 // sessions LRU-evicted to admit new ones
 	thresholdAdjusted atomic.Uint64 // adaptive repair-threshold changes applied
 
+	// Binary wire protocol.
+	wireBatches      atomic.Uint64 // binary update-batch frames decoded
+	wireFrames       atomic.Uint64 // binary frames written (acks, hellos, events)
+	watchAcks        atomic.Uint64 // watch subscription ACKs applied
+	watchNacks       atomic.Uint64 // watch subscription NACKs applied
+	watchReplayed    atomic.Uint64 // events replayed to resuming watchers
+	unsupportedMedia atomic.Uint64 // POSTs rejected 415 for an unknown Content-Type
+
 	// Durability layer (zero on a non-durable server).
 	walAppends       atomic.Uint64
 	snapshotsWritten atomic.Uint64
@@ -296,6 +304,12 @@ func (m *metrics) write(w io.Writer, live liveStats) {
 	counter("planarcertd_admit_timeouts_total", "Batches rejected after timing out in the admission queue.", m.admitTimeouts.Load())
 	counter("planarcertd_sessions_evicted_total", "Sessions evicted by the LRU policy to admit new ones.", m.sessionsEvicted.Load())
 	counter("planarcertd_repair_threshold_adjustments_total", "Adaptive repair-threshold changes applied.", m.thresholdAdjusted.Load())
+	counter("planarcertd_wire_batches_total", "Binary update-batch frames decoded.", m.wireBatches.Load())
+	counter("planarcertd_wire_frames_written_total", "Binary frames written (acks, hellos, events).", m.wireFrames.Load())
+	counter("planarcertd_watch_acks_total", "Watch subscription ACKs applied.", m.watchAcks.Load())
+	counter("planarcertd_watch_nacks_total", "Watch subscription NACKs applied.", m.watchNacks.Load())
+	counter("planarcertd_watch_replayed_total", "Events replayed to watchers resuming a subscription.", m.watchReplayed.Load())
+	counter("planarcertd_unsupported_media_total", "POST requests rejected with 415 for an unknown Content-Type.", m.unsupportedMedia.Load())
 
 	fmt.Fprintf(w, "# HELP planarcertd_qos_grants_total Scheduler grants by pool (exec admission vs worker budget) and QoS class.\n")
 	fmt.Fprintf(w, "# TYPE planarcertd_qos_grants_total counter\n")

@@ -126,7 +126,7 @@ func (s *Server) recoverSession(dir string) error {
 		applied++
 	}
 
-	ms := newSession(snap.Name, planarcert.SchemeName(snap.Scheme), ps, s.cfg.WatchBuffer)
+	ms := newSession(snap.Name, planarcert.SchemeName(snap.Scheme), ps, s.cfg.WatchBuffer, s.cfg.ReplayEvents)
 	ms.qos = s.defaultQoS
 	s.adopt(ms)
 	ms.store = st

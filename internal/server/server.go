@@ -67,6 +67,7 @@ import (
 	"github.com/planarcert/planarcert/internal/obs"
 	"github.com/planarcert/planarcert/internal/qos"
 	"github.com/planarcert/planarcert/internal/wal"
+	"github.com/planarcert/planarcert/internal/wire"
 )
 
 // Config parameterises a Server.
@@ -83,6 +84,10 @@ type Config struct {
 	// WatchBuffer is the per-watcher channel depth before reports are
 	// dropped on a slow consumer (0 = 16).
 	WatchBuffer int
+	// ReplayEvents is the per-session replay ring depth: how many past
+	// watch events a reconnecting binary subscription can resume from
+	// before it is told to reset (0 = 64; negative disables replay).
+	ReplayEvents int
 	// MaxBatchUpdates bounds the number of NDJSON lines accepted in one
 	// updates request (0 = 65536).
 	MaxBatchUpdates int
@@ -154,6 +159,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WatchBuffer <= 0 {
 		c.WatchBuffer = 16
+	}
+	if c.ReplayEvents == 0 {
+		c.ReplayEvents = 64
 	}
 	if c.MaxBatchUpdates <= 0 {
 		c.MaxBatchUpdates = 65536
@@ -277,6 +285,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{name}/certificates", s.handleCertificates)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/graph", s.handleSessionGraph)
 	s.mux.HandleFunc("GET /v1/sessions/{name}/watch", s.handleWatch)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/watch/ack", s.handleWatchAck)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/{session}", s.handleTraces)
 	return s
@@ -613,7 +622,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ms := newSession(req.Name, scheme, ps, s.cfg.WatchBuffer)
+	ms := newSession(req.Name, scheme, ps, s.cfg.WatchBuffer, s.cfg.ReplayEvents)
 	ms.qos = class
 	s.adopt(ms)
 	ms.popts = persistOpts{
@@ -750,9 +759,14 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleUpdates reads an NDJSON body of UpdateLine records. mode=apply
-// (the default) queues and flushes them as one batch; mode=queue only
-// appends to the session log for a later flush.
+// handleUpdates reads an update batch and absorbs it. The body format
+// is content-negotiated: NDJSON UpdateLine records (Content-Type empty,
+// application/x-ndjson or application/json) or a single binary
+// update-batch frame (planarcert.WireContentType; see internal/wire).
+// Any other Content-Type is rejected with 415 and an Accept-Post hint.
+// mode=apply (the default) queues and flushes the batch as one batch;
+// mode=queue only appends to the session log for a later flush (a
+// binary frame carries its own mode and ignores the query parameter).
 //
 // The session has ONE update log (planarcert.Session semantics): apply
 // and flush absorb the entire pending log, including updates other
@@ -768,6 +782,16 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	ms := s.lookup(r.PathValue("name"))
 	if ms == nil {
 		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		return
+	}
+	switch contentTypeBase(r.Header.Get("Content-Type")) {
+	case "", "application/x-ndjson", "application/json":
+		// NDJSON below.
+	case wire.ContentType:
+		s.handleUpdatesBinary(w, r, ms)
+		return
+	default:
+		s.rejectMediaType(w, r)
 		return
 	}
 	mode := r.URL.Query().Get("mode")
@@ -941,10 +965,14 @@ func (s *Server) handleSessionGraph(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleWatch streams one SessionReport per flushed batch as chunked
-// NDJSON until the client disconnects or the session is deleted. With
+// handleWatch streams one SessionReport per flushed batch until the
+// client disconnects or the session is deleted. The default stream is
+// chunked NDJSON; ?format=binary switches to the frame protocol with a
+// version-acknowledged subscription (hello frame, then one event frame
+// per batch; resume with ?sub=, acknowledge on .../watch/ack). With
 // ?replay=last the current last report is emitted first, so a watcher
-// always has a starting state.
+// always has a starting state. Each report is marshaled once per format
+// and the bytes fanned out to every watcher.
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	ms := s.lookup(r.PathValue("name"))
 	if ms == nil {
@@ -956,9 +984,19 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported by transport")
 		return
 	}
+	switch r.URL.Query().Get("format") {
+	case "", "json", "ndjson":
+		// NDJSON below.
+	case "binary":
+		s.handleWatchBinary(w, r, ms, flusher)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "format must be json or binary, got %q", r.URL.Query().Get("format"))
+		return
+	}
 	var (
 		id   uint64
-		ch   <-chan *planarcert.SessionReport
+		ch   <-chan *watchEvent
 		last *planarcert.SessionReport
 		ok2  bool
 	)
@@ -977,11 +1015,9 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush() // ship the headers so clients unblock before the first report
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
 
 	if last != nil {
-		if err := enc.Encode(last); err != nil {
+		if _, err := w.Write(encodeEventJSON(last)); err != nil {
 			return
 		}
 		flusher.Flush()
@@ -991,11 +1027,14 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case rep, open := <-ch:
+		case ev, open := <-ch:
 			if !open {
 				return // session deleted
 			}
-			if err := enc.Encode(rep); err != nil {
+			// ev.json is always set here: broadcast encodes it under
+			// watchMu whenever a JSON watcher is registered, and this
+			// watcher registered before the event was fanned out.
+			if _, err := w.Write(ev.json); err != nil {
 				return
 			}
 			flusher.Flush()

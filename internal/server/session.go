@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"github.com/planarcert/planarcert/internal/obs"
 	"github.com/planarcert/planarcert/internal/qos"
 	"github.com/planarcert/planarcert/internal/wal"
+	"github.com/planarcert/planarcert/internal/wire"
 )
 
 // session is one named, server-managed certification session: the
@@ -65,10 +68,20 @@ type session struct {
 	met      *metrics // nil-safe; recovery/persistence counters
 
 	watchMu   sync.Mutex
-	watchers  map[uint64]chan *planarcert.SessionReport
+	watchers  map[uint64]*watcher
 	nextWatch uint64
 	closed    bool
 	watchBuf  int
+	// Version-acknowledged subscription state (all under watchMu).
+	// lastVersion is the version of the newest broadcast event (the
+	// session generation — strictly increasing across broadcasts); ring
+	// retains the last ringCap events for replay-after-reconnect; subs
+	// tracks each binary subscription's last ACKed version.
+	lastVersion uint64
+	ring        []*watchEvent
+	ringCap     int
+	subs        map[uint64]*subAck
+	nextSub     uint64
 
 	// broadcastHook feeds delivery/drop counts to the server's metrics;
 	// set once at construction (never mutated afterwards, so it needs no
@@ -76,17 +89,50 @@ type session struct {
 	broadcastHook func(delivered, dropped int)
 }
 
+// watchEvent is one broadcast report, marshaled ONCE per format and
+// fanned out as bytes to every watcher (the per-watcher re-marshal this
+// replaces was the watch path's dominant cost at high fan-out). json
+// and bin are filled lazily: only the formats with a live watcher (or,
+// for bin, a later replay) pay for encoding.
+type watchEvent struct {
+	version uint64
+	rep     *planarcert.SessionReport
+	json    []byte // NDJSON line including the trailing newline
+	bin     []byte // complete binary event frame
+}
+
+// watcher is one attached watch stream.
+type watcher struct {
+	ch     chan *watchEvent
+	binary bool
+}
+
+// subAck is the server-side cursor of one version-acknowledged
+// subscription.
+type subAck struct {
+	acked uint64
+}
+
+// maxSubscriptions bounds the per-session subscription map; past it the
+// oldest (smallest-id) subscription is dropped and its client falls
+// back to a reset on resume.
+const maxSubscriptions = 4096
+
 // newSession wraps s; watchBuf must be positive (Config.withDefaults
-// guarantees it on the server path).
-func newSession(name string, scheme planarcert.SchemeName, s *planarcert.Session, watchBuf int) *session {
+// guarantees it on the server path). ringCap sizes the replay ring
+// (negative disables replay-after-reconnect).
+func newSession(name string, scheme planarcert.SchemeName, s *planarcert.Session, watchBuf, ringCap int) *session {
 	ms := &session{
 		name:     name,
 		scheme:   scheme,
 		created:  time.Now(),
 		s:        s,
-		watchers: make(map[uint64]chan *planarcert.SessionReport),
+		watchers: make(map[uint64]*watcher),
 		watchBuf: watchBuf,
+		ringCap:  ringCap,
+		subs:     make(map[uint64]*subAck),
 	}
+	ms.lastVersion = s.Generation()
 	ms.touch()
 	return ms
 }
@@ -367,26 +413,35 @@ func (ms *session) status() *SessionStatus {
 	return st
 }
 
-// watch registers a new watcher and returns its id and channel. The
-// channel is closed when the session is deleted. ok is false if the
+// watch registers a new JSON watcher and returns its id and channel.
+// The channel is closed when the session is deleted. ok is false if the
 // session is already closed.
-func (ms *session) watch() (id uint64, ch <-chan *planarcert.SessionReport, ok bool) {
+func (ms *session) watch() (id uint64, ch <-chan *watchEvent, ok bool) {
 	ms.watchMu.Lock()
 	defer ms.watchMu.Unlock()
-	if ms.closed {
+	w, ok := ms.registerLocked(false)
+	if !ok {
 		return 0, nil, false
 	}
-	c := make(chan *planarcert.SessionReport, ms.watchBuf)
+	return ms.nextWatch, w.ch, true
+}
+
+// registerLocked adds a watcher under watchMu.
+func (ms *session) registerLocked(binary bool) (*watcher, bool) {
+	if ms.closed {
+		return nil, false
+	}
+	w := &watcher{ch: make(chan *watchEvent, ms.watchBuf), binary: binary}
 	ms.nextWatch++
-	ms.watchers[ms.nextWatch] = c
-	return ms.nextWatch, c, true
+	ms.watchers[ms.nextWatch] = w
+	return w, true
 }
 
 // watchReplay snapshots the last report and registers a watcher in one
 // ms.mu critical section: broadcasts also run under ms.mu, so no flush
 // can slip between the snapshot and the registration — the replayed
 // report is never duplicated on (or reordered against) the channel.
-func (ms *session) watchReplay() (id uint64, ch <-chan *planarcert.SessionReport, last *planarcert.SessionReport, ok bool) {
+func (ms *session) watchReplay() (id uint64, ch <-chan *watchEvent, last *planarcert.SessionReport, ok bool) {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	last = ms.s.Last()
@@ -394,22 +449,218 @@ func (ms *session) watchReplay() (id uint64, ch <-chan *planarcert.SessionReport
 	return id, ch, last, ok
 }
 
-// unwatch removes a watcher; safe to call after close.
-func (ms *session) unwatch(id uint64) {
+// watchBinary attaches a binary watch stream as a version-acknowledged
+// subscription. sub == 0 mints a fresh subscription; otherwise the
+// stream resumes the existing one, replaying the ring events after its
+// last ACKed version. When the ring no longer covers the gap (or the
+// subscription is unknown/evicted), hello.Reset tells the client to
+// re-sync full state and only the latest event is replayed. replayLast
+// forces the latest event into the replay of a fresh subscription
+// (?replay=last parity with the JSON stream). replayed events have
+// their binary encoding materialized before they are returned.
+func (ms *session) watchBinary(sub uint64, replayLast bool) (id uint64, hello wire.Hello, replay []*watchEvent, ch <-chan *watchEvent, ok bool) {
+	// ms.mu before watchMu (the broadcast ordering): holding it across
+	// the registration keeps the baseline snapshot and the channel
+	// gap-free, exactly like watchReplay on the JSON path.
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	last := ms.s.Last()
 	ms.watchMu.Lock()
 	defer ms.watchMu.Unlock()
-	delete(ms.watchers, id)
+	w, ok := ms.registerLocked(true)
+	if !ok {
+		return 0, wire.Hello{}, nil, nil, false
+	}
+	id = ms.nextWatch
+
+	requested := sub
+	acked := ms.lastVersion
+	known := false
+	if requested != 0 {
+		if sa := ms.subs[requested]; sa != nil {
+			acked, known = sa.acked, true
+		}
+	}
+	if !known {
+		// Fresh subscription (or an evicted one the server no longer
+		// remembers): mint a new identity cursored at the current version.
+		sub = ms.mintSubLocked()
+	}
+	hello = wire.Hello{Subscription: sub, Version: ms.lastVersion, ResumeFrom: acked}
+
+	switch {
+	case known && acked < ms.lastVersion:
+		replay, hello.Reset = ms.ringAfterLocked(acked)
+	case !known && requested != 0:
+		// A resume the server cannot honor: the client must re-sync full
+		// state; hand it the latest event as its new baseline.
+		hello.Reset = true
+		if ev := ms.ringLatestLocked(); ev != nil {
+			replay = []*watchEvent{ev}
+		}
+	case !known && replayLast:
+		if ev := ms.ringLatestLocked(); ev != nil {
+			replay = []*watchEvent{ev}
+		}
+	}
+	if len(replay) == 0 && (hello.Reset || (!known && replayLast)) && last != nil {
+		// Nothing retained (fresh session, or replay disabled): fall back
+		// to the session's own last report as the baseline event.
+		replay = []*watchEvent{{version: ms.lastVersion, rep: last}}
+	}
+	for _, ev := range replay {
+		ms.ensureBinLocked(ev)
+	}
+	return id, hello, replay, w.ch, true
+}
+
+// mintSubLocked allocates a new subscription id, evicting the oldest
+// one past maxSubscriptions.
+func (ms *session) mintSubLocked() uint64 {
+	if len(ms.subs) >= maxSubscriptions {
+		oldest := uint64(0)
+		for id := range ms.subs {
+			if oldest == 0 || id < oldest {
+				oldest = id
+			}
+		}
+		delete(ms.subs, oldest)
+	}
+	ms.nextSub++
+	ms.subs[ms.nextSub] = &subAck{acked: ms.lastVersion}
+	return ms.nextSub
+}
+
+// ringAfterLocked returns the retained events with version > acked, and
+// whether the ring failed to cover the gap (reset: the client missed
+// events the ring already evicted).
+func (ms *session) ringAfterLocked(acked uint64) (replay []*watchEvent, reset bool) {
+	if latest := ms.ringLatestLocked(); latest != nil && acked >= latest.version {
+		return nil, false // fully caught up: nothing missed, no reset
+	}
+	for _, ev := range ms.ring {
+		if ev.version > acked {
+			replay = append(replay, ev)
+		}
+	}
+	if len(replay) == 0 {
+		if ev := ms.ringLatestLocked(); ev != nil {
+			return []*watchEvent{ev}, true
+		}
+		return nil, true
+	}
+	// Covered iff the oldest replayed event is the one right after the
+	// cursor; generations advance by exactly one per broadcast. An
+	// uncovered gap forces a full re-sync, and since every event carries
+	// a complete report, only the latest one is worth replaying then.
+	if replay[0].version != acked+1 {
+		return []*watchEvent{replay[len(replay)-1]}, true
+	}
+	return replay, false
+}
+
+// ringLatestLocked returns the newest retained event (nil when the ring
+// is empty or disabled).
+func (ms *session) ringLatestLocked() *watchEvent {
+	if len(ms.ring) == 0 {
+		return nil
+	}
+	return ms.ring[len(ms.ring)-1]
+}
+
+// ack advances a subscription's cursor; it reports whether the
+// subscription exists.
+func (ms *session) ack(sub, version uint64) bool {
+	ms.watchMu.Lock()
+	defer ms.watchMu.Unlock()
+	sa := ms.subs[sub]
+	if sa == nil {
+		return false
+	}
+	if version > sa.acked {
+		sa.acked = version
+	}
+	return true
+}
+
+// nack rewinds a subscription's cursor to just before the rejected
+// version, so replay-after-reconnect re-delivers it.
+func (ms *session) nack(sub, version uint64) bool {
+	ms.watchMu.Lock()
+	defer ms.watchMu.Unlock()
+	sa := ms.subs[sub]
+	if sa == nil {
+		return false
+	}
+	if version > 0 && version-1 < sa.acked {
+		sa.acked = version - 1
+	}
+	return true
+}
+
+// encodeEventJSON marshals one report exactly the way the streaming
+// json.Encoder used to (SetEscapeHTML(false) + trailing newline), so
+// the single-marshal fan-out is byte-identical to the old stream.
+func encodeEventJSON(rep *planarcert.SessionReport) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(rep); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// ensureBinLocked materializes ev's binary frame encoding (nil on an
+// encode failure; the watch loop skips such events for binary
+// watchers).
+func (ms *session) ensureBinLocked(ev *watchEvent) {
+	if ev.bin != nil {
+		return
+	}
+	ev.bin, _ = planarcert.EncodeEventFrame(ev.version, ev.rep)
 }
 
 // broadcast fans one report out to every watcher without blocking: a
 // watcher whose buffer is full loses the report (counted by the caller
 // via the returned drop count) rather than stalling the flush path.
+// The report is marshaled at most ONCE per wire format — watchers
+// receive pre-encoded bytes — and retained in the replay ring for
+// reconnecting subscriptions.
 func (ms *session) broadcast(rep *planarcert.SessionReport) (delivered, dropped int) {
 	ms.watchMu.Lock()
 	defer ms.watchMu.Unlock()
-	for _, c := range ms.watchers {
+	ev := &watchEvent{version: rep.Generation, rep: rep}
+	ms.lastVersion = ev.version
+	if ms.ringCap > 0 {
+		if len(ms.ring) >= ms.ringCap {
+			copy(ms.ring, ms.ring[1:])
+			ms.ring[len(ms.ring)-1] = ev
+		} else {
+			ms.ring = append(ms.ring, ev)
+		}
+	}
+	var needJSON, needBin bool
+	for _, w := range ms.watchers {
+		if w.binary {
+			needBin = true
+		} else {
+			needJSON = true
+		}
+	}
+	if needJSON {
+		ev.json = encodeEventJSON(rep)
+	}
+	if needBin {
+		ms.ensureBinLocked(ev)
+	}
+	for _, w := range ms.watchers {
+		if w.binary && ev.bin == nil {
+			dropped++
+			continue
+		}
 		select {
-		case c <- rep:
+		case w.ch <- ev:
 			delivered++
 		default:
 			dropped++
@@ -419,6 +670,13 @@ func (ms *session) broadcast(rep *planarcert.SessionReport) (delivered, dropped 
 		ms.broadcastHook(delivered, dropped)
 	}
 	return delivered, dropped
+}
+
+// unwatch removes a watcher; safe to call after close.
+func (ms *session) unwatch(id uint64) {
+	ms.watchMu.Lock()
+	defer ms.watchMu.Unlock()
+	delete(ms.watchers, id)
 }
 
 // shutdown drains the session for a graceful daemon exit: any queued
@@ -464,8 +722,8 @@ func (ms *session) close() {
 		return
 	}
 	ms.closed = true
-	for id, c := range ms.watchers {
-		close(c)
+	for id, w := range ms.watchers {
+		close(w.ch)
 		delete(ms.watchers, id)
 	}
 }

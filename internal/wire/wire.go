@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ContentType is the HTTP media type of a planarcert binary frame
+// stream (both request bodies and watch streams).
+const ContentType = "application/x-planarcert-frame"
+
+// Version is the frame format version carried in every header. Decoders
+// reject other versions; format evolution bumps this and keeps old
+// decoders.
+const Version = 1
+
+// HeaderSize is the fixed frame header length in bytes.
+const HeaderSize = 14
+
+// MaxPayload bounds a frame payload so a corrupt or hostile length
+// field cannot make a decoder allocate gigabytes (same guard as
+// internal/wal's maxRecordBytes).
+const MaxPayload = 1 << 26
+
+// frameMagic opens every frame.
+const frameMagic = "PCWF"
+
+// Kind identifies what a frame's payload carries. The numeric values
+// are part of the frozen wire format.
+type Kind byte
+
+// Frame kinds. UpdateBatch flows client->server on POST .../updates;
+// BatchAck is its response. Hello and Event flow server->client on a
+// binary watch stream; Ack and Nack flow client->server on the watch
+// acknowledgement endpoint. Error is a server->client failure frame.
+const (
+	KindUpdateBatch Kind = 1
+	KindBatchAck    Kind = 2
+	KindEvent       Kind = 3
+	KindHello       Kind = 4
+	KindAck         Kind = 5
+	KindNack        Kind = 6
+	KindError       Kind = 7
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindUpdateBatch:
+		return "update_batch"
+	case KindBatchAck:
+		return "batch_ack"
+	case KindEvent:
+		return "event"
+	case KindHello:
+		return "hello"
+	case KindAck:
+		return "ack"
+	case KindNack:
+		return "nack"
+	case KindError:
+		return "error"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// valid reports whether k is a known frame kind.
+func (k Kind) valid() bool { return k >= KindUpdateBatch && k <= KindError }
+
+// Decode errors. ErrTruncated distinguishes "more bytes may fix it"
+// (streaming reads) from the unrecoverable corruption errors.
+var (
+	ErrTruncated  = errors.New("wire: truncated frame")
+	ErrBadMagic   = errors.New("wire: bad frame magic")
+	ErrBadVersion = errors.New("wire: unsupported frame version")
+	ErrBadKind    = errors.New("wire: unknown frame kind")
+	ErrTooLarge   = errors.New("wire: frame payload exceeds limit")
+	ErrChecksum   = errors.New("wire: payload checksum mismatch")
+	ErrBadPayload = errors.New("wire: malformed frame payload")
+)
+
+// AppendFrame appends one complete frame (header + payload) to dst and
+// returns the extended slice. It fails only when the payload exceeds
+// MaxPayload.
+func AppendFrame(dst []byte, kind Kind, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return dst, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	var hdr [HeaderSize]byte
+	copy(hdr[:4], frameMagic)
+	hdr[4] = Version
+	hdr[5] = byte(kind)
+	binary.LittleEndian.PutUint32(hdr[6:10], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[10:14], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// ParseFrame decodes the frame at the front of b. The returned payload
+// ALIASES b (zero-copy); n is the total frame length consumed. A short
+// buffer returns ErrTruncated so streaming callers can wait for more
+// bytes; every other error is unrecoverable corruption.
+func ParseFrame(b []byte) (kind Kind, payload []byte, n int, err error) {
+	if len(b) < HeaderSize {
+		return 0, nil, 0, ErrTruncated
+	}
+	if string(b[:4]) != frameMagic {
+		return 0, nil, 0, ErrBadMagic
+	}
+	if b[4] != Version {
+		return 0, nil, 0, fmt.Errorf("%w: %d", ErrBadVersion, b[4])
+	}
+	kind = Kind(b[5])
+	if !kind.valid() {
+		return 0, nil, 0, fmt.Errorf("%w: %d", ErrBadKind, b[5])
+	}
+	plen := binary.LittleEndian.Uint32(b[6:10])
+	if plen > MaxPayload {
+		return 0, nil, 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, plen)
+	}
+	if len(b) < HeaderSize+int(plen) {
+		return 0, nil, 0, ErrTruncated
+	}
+	payload = b[HeaderSize : HeaderSize+int(plen)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[10:14]) {
+		return 0, nil, 0, ErrChecksum
+	}
+	return kind, payload, HeaderSize + int(plen), nil
+}
+
+// Reader decodes a stream of frames from an io.Reader, reusing one
+// payload buffer across frames (the returned payload is valid until the
+// next Next call). Watch-stream clients wrap the response body with it.
+type Reader struct {
+	r   io.Reader
+	hdr [HeaderSize]byte
+	buf []byte
+}
+
+// NewReader returns a frame reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next reads one frame. It returns io.EOF on a clean end-of-stream and
+// io.ErrUnexpectedEOF when the stream ends mid-frame.
+func (fr *Reader) Next() (Kind, []byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if string(fr.hdr[:4]) != frameMagic {
+		return 0, nil, ErrBadMagic
+	}
+	if fr.hdr[4] != Version {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, fr.hdr[4])
+	}
+	kind := Kind(fr.hdr[5])
+	if !kind.valid() {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadKind, fr.hdr[5])
+	}
+	plen := binary.LittleEndian.Uint32(fr.hdr[6:10])
+	if plen > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, plen)
+	}
+	if cap(fr.buf) < int(plen) {
+		fr.buf = make([]byte, plen)
+	}
+	payload := fr.buf[:plen]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(fr.hdr[10:14]) {
+		return 0, nil, ErrChecksum
+	}
+	return kind, payload, nil
+}

@@ -1,0 +1,359 @@
+package planarcert
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/planarcert/planarcert/internal/wire"
+)
+
+// WireContentType is the HTTP media type of planarcertd's binary frame
+// protocol. POST .../updates bodies with this Content-Type are decoded
+// as a single update-batch frame (and acked with a batch-ack frame);
+// .../watch?format=binary streams hello/event frames under it. The byte
+// format is frozen — see internal/wire and ARCHITECTURE.md.
+const WireContentType = wire.ContentType
+
+// WireBatchAck is the decoded binary response of POST .../updates: the
+// frame counterpart of the JSON UpdatesResponse.
+type WireBatchAck struct {
+	// Queued counts the updates accepted by the request.
+	Queued int
+	// Pending counts updates still queued after the request (queue mode).
+	Pending int
+	// Elapsed is the server-side batch execution time (apply mode).
+	Elapsed time.Duration
+	// Report is the absorption report (apply mode only).
+	Report *SessionReport
+}
+
+// WireHello is the decoded opening frame of a binary watch stream: the
+// version-acknowledged subscription identity and how a resume was
+// honored.
+type WireHello struct {
+	// Subscription identifies the subscription; resume with ?sub= and
+	// acknowledge versions against it.
+	Subscription uint64
+	// Version is the session's latest event version at attach time.
+	Version uint64
+	// ResumeFrom is the version replay restarts after.
+	ResumeFrom uint64
+	// Reset reports that the server's replay ring no longer covered the
+	// gap: only the latest event is replayed and the client must re-sync
+	// full state (GET .../graph and .../certificates).
+	Reset bool
+}
+
+// WireEvent is one decoded watch event: a session report stamped with
+// its monotonically increasing version (the session generation).
+type WireEvent struct {
+	// Version orders the event; acknowledge it to advance the
+	// subscription's replay cursor.
+	Version uint64
+	// Report is the batch absorption report.
+	Report *SessionReport
+}
+
+// WireError is a decoded server failure frame.
+type WireError struct {
+	// Code is an HTTP-style status code.
+	Code int
+	// Message is the human-readable error.
+	Message string
+}
+
+// WireMessage is one frame read from a binary watch stream; exactly one
+// field is non-nil.
+type WireMessage struct {
+	// Hello opens the stream.
+	Hello *WireHello
+	// Event carries one versioned report.
+	Event *WireEvent
+	// Err reports a server-side failure.
+	Err *WireError
+}
+
+// wireBatchMode maps the ?mode= query value onto the frozen frame code.
+func wireBatchMode(mode string) (wire.BatchMode, error) {
+	switch mode {
+	case "", "apply":
+		return wire.ModeApply, nil
+	case "queue":
+		return wire.ModeQueue, nil
+	}
+	return 0, fmt.Errorf("planarcert: batch mode must be apply or queue, got %q", mode)
+}
+
+// wireOp maps an UpdateOp onto the frozen 2-bit frame code.
+func wireOp(op UpdateOp) (wire.Op, error) {
+	switch op {
+	case OpAddEdge:
+		return wire.OpAddEdge, nil
+	case OpRemoveEdge:
+		return wire.OpRemoveEdge, nil
+	case OpAddNode:
+		return wire.OpAddNode, nil
+	}
+	return 0, fmt.Errorf("planarcert: unknown update op %d", op)
+}
+
+// unwireOp maps a frame op code back to an UpdateOp.
+func unwireOp(op wire.Op) (UpdateOp, error) {
+	switch op {
+	case wire.OpAddEdge:
+		return OpAddEdge, nil
+	case wire.OpRemoveEdge:
+		return OpRemoveEdge, nil
+	case wire.OpAddNode:
+		return OpAddNode, nil
+	}
+	return 0, fmt.Errorf("planarcert: unknown wire op %d", op)
+}
+
+// EncodeUpdatesFrame encodes one update batch as a binary frame, the
+// body of a POST .../updates request with Content-Type WireContentType.
+// mode is "apply", "queue" or "" (= apply) and overrides the ?mode=
+// query parameter server-side.
+func EncodeUpdatesFrame(mode string, updates []Update) ([]byte, error) {
+	m, err := wireBatchMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	ups := make([]wire.Update, len(updates))
+	for i, u := range updates {
+		op, err := wireOp(u.Op)
+		if err != nil {
+			return nil, err
+		}
+		ups[i] = wire.Update{Op: op, A: int64(u.A), B: int64(u.B)}
+		if op == wire.OpAddNode {
+			ups[i].B = 0
+		}
+	}
+	return wire.EncodeUpdateBatch(m, ups)
+}
+
+// DecodeUpdatesFrame decodes an update-batch frame produced by
+// EncodeUpdatesFrame (or any conforming client). The server's hot path
+// uses internal/wire's pooled zero-copy decoder instead; this is the
+// public, allocating counterpart.
+func DecodeUpdatesFrame(frame []byte) (mode string, updates []Update, err error) {
+	kind, payload, n, err := wire.ParseFrame(frame)
+	if err != nil {
+		return "", nil, err
+	}
+	if kind != wire.KindUpdateBatch || n != len(frame) {
+		return "", nil, fmt.Errorf("planarcert: not a single update-batch frame (kind %s, %d trailing bytes)", kind, len(frame)-n)
+	}
+	m, ups, err := wire.DecodeUpdateBatch(payload, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	mode = "apply"
+	if m == wire.ModeQueue {
+		mode = "queue"
+	}
+	updates = make([]Update, len(ups))
+	for i, u := range ups {
+		op, err := unwireOp(u.Op)
+		if err != nil {
+			return "", nil, err
+		}
+		updates[i] = Update{Op: op, A: NodeID(u.A), B: NodeID(u.B)}
+	}
+	return mode, updates, nil
+}
+
+// EncodeBatchAckFrame encodes an update-batch response as a binary
+// frame (the server side of the codec).
+func EncodeBatchAckFrame(ack *WireBatchAck) ([]byte, error) {
+	wa := &wire.BatchAck{
+		Queued:       ack.Queued,
+		Pending:      ack.Pending,
+		ElapsedNanos: uint64(ack.Elapsed.Nanoseconds()),
+		Report:       wireReportOf(ack.Report),
+	}
+	return wire.EncodeBatchAck(wa)
+}
+
+// DecodeBatchAckFrame decodes the single batch-ack frame a binary
+// updates request is answered with.
+func DecodeBatchAckFrame(frame []byte) (*WireBatchAck, error) {
+	kind, payload, n, err := wire.ParseFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	if kind != wire.KindBatchAck || n != len(frame) {
+		return nil, fmt.Errorf("planarcert: not a single batch-ack frame (kind %s, %d trailing bytes)", kind, len(frame)-n)
+	}
+	wa, err := wire.DecodeBatchAck(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &WireBatchAck{
+		Queued:  wa.Queued,
+		Pending: wa.Pending,
+		Elapsed: time.Duration(wa.ElapsedNanos),
+		Report:  reportFromWire(wa.Report),
+	}, nil
+}
+
+// EncodeEventFrame encodes one versioned session report as a watch
+// event frame (the server side of the codec).
+func EncodeEventFrame(version uint64, rep *SessionReport) ([]byte, error) {
+	wr := wireReportOf(rep)
+	if wr == nil {
+		wr = &wire.Report{}
+	}
+	return wire.EncodeEvent(version, wr)
+}
+
+// EncodeWatchAckFrame encodes a subscription acknowledgement: the
+// client has applied every event up to and including version. POST it
+// to .../watch/ack with Content-Type WireContentType.
+func EncodeWatchAckFrame(sub, version uint64) ([]byte, error) {
+	return wire.EncodeAck(sub, version)
+}
+
+// EncodeWatchNackFrame encodes a subscription rejection of the event at
+// version; replay after reconnect restarts before it. POST it to
+// .../watch/ack with Content-Type WireContentType.
+func EncodeWatchNackFrame(sub, version uint64, reason string) ([]byte, error) {
+	return wire.EncodeNack(sub, version, reason)
+}
+
+// WireScanner reads a binary watch stream frame by frame. It reuses one
+// payload buffer internally but returns fully decoded (owned) messages.
+type WireScanner struct {
+	fr *wire.Reader
+}
+
+// NewWireScanner wraps a binary watch response body.
+func NewWireScanner(r io.Reader) *WireScanner {
+	return &WireScanner{fr: wire.NewReader(r)}
+}
+
+// Next reads one frame. It returns io.EOF on a clean end-of-stream.
+func (s *WireScanner) Next() (*WireMessage, error) {
+	kind, payload, err := s.fr.Next()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case wire.KindHello:
+		h, err := wire.DecodeHello(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &WireMessage{Hello: &WireHello{
+			Subscription: h.Subscription,
+			Version:      h.Version,
+			ResumeFrom:   h.ResumeFrom,
+			Reset:        h.Reset,
+		}}, nil
+	case wire.KindEvent:
+		version, wr, err := wire.DecodeEvent(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &WireMessage{Event: &WireEvent{Version: version, Report: reportFromWire(wr)}}, nil
+	case wire.KindError:
+		code, msg, err := wire.DecodeError(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &WireMessage{Err: &WireError{Code: code, Message: msg}}, nil
+	}
+	return nil, fmt.Errorf("planarcert: unexpected %s frame on watch stream", kind)
+}
+
+// wireReportOf converts a SessionReport to its neutral wire record
+// (nil-safe).
+func wireReportOf(rep *SessionReport) *wire.Report {
+	if rep == nil {
+		return nil
+	}
+	wr := &wire.Report{
+		Generation:      rep.Generation,
+		Mode:            rep.Mode,
+		ActiveScheme:    string(rep.ActiveScheme),
+		Updates:         rep.Updates,
+		Dirty:           rep.Dirty,
+		Verified:        rep.Verified,
+		FullVerify:      rep.FullVerify,
+		Accepted:        rep.Accepted,
+		CacheGeneration: rep.CacheGeneration,
+		RepairFallback:  rep.RepairFallback,
+		ProveErr:        rep.ProveErr,
+	}
+	if v := rep.Verification; v != nil {
+		wv := &wire.Verification{
+			Accepted:    v.Accepted,
+			MaxCertBits: v.MaxCertBits,
+			AvgCertBits: v.AvgCertBits,
+			Messages:    v.Messages,
+			MaxMsgBits:  v.MaxMsgBits,
+		}
+		if len(v.Rejecting) > 0 {
+			wv.Rejecting = make([]int64, len(v.Rejecting))
+			for i, id := range v.Rejecting {
+				wv.Rejecting[i] = int64(id)
+			}
+		}
+		if len(v.Reasons) > 0 {
+			wv.Reasons = make([]wire.Reason, 0, len(v.Reasons))
+			for id, text := range v.Reasons {
+				wv.Reasons = append(wv.Reasons, wire.Reason{ID: int64(id), Text: text})
+			}
+			sort.Slice(wv.Reasons, func(i, j int) bool { return wv.Reasons[i].ID < wv.Reasons[j].ID })
+		}
+		wr.Verification = wv
+	}
+	return wr
+}
+
+// reportFromWire converts a neutral wire record back to a SessionReport
+// (nil-safe).
+func reportFromWire(wr *wire.Report) *SessionReport {
+	if wr == nil {
+		return nil
+	}
+	rep := &SessionReport{
+		Generation:      wr.Generation,
+		Mode:            wr.Mode,
+		ActiveScheme:    SchemeName(wr.ActiveScheme),
+		Updates:         wr.Updates,
+		Dirty:           wr.Dirty,
+		Verified:        wr.Verified,
+		FullVerify:      wr.FullVerify,
+		Accepted:        wr.Accepted,
+		CacheGeneration: wr.CacheGeneration,
+		RepairFallback:  wr.RepairFallback,
+		ProveErr:        wr.ProveErr,
+	}
+	if wv := wr.Verification; wv != nil {
+		v := &Report{
+			Accepted:    wv.Accepted,
+			MaxCertBits: wv.MaxCertBits,
+			AvgCertBits: wv.AvgCertBits,
+			Messages:    wv.Messages,
+			MaxMsgBits:  wv.MaxMsgBits,
+		}
+		if len(wv.Rejecting) > 0 {
+			v.Rejecting = make([]NodeID, len(wv.Rejecting))
+			for i, id := range wv.Rejecting {
+				v.Rejecting[i] = NodeID(id)
+			}
+		}
+		if len(wv.Reasons) > 0 {
+			v.Reasons = make(map[NodeID]string, len(wv.Reasons))
+			for _, rs := range wv.Reasons {
+				v.Reasons[NodeID(rs.ID)] = rs.Text
+			}
+		}
+		rep.Verification = v
+	}
+	return rep
+}
